@@ -1,0 +1,40 @@
+"""Benchmark-harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures (see
+DESIGN.md's experiment index), asserts the *shape* the paper reports,
+and writes the rendered table to ``benchmarks/out/<name>.txt``.
+
+Cycle counts are controlled by ``REPRO_BENCH_SCALE`` (default 0.35 —
+quick but statistically meaningful).  Set it to 1.0 to reproduce the
+EXPERIMENTS.md numbers exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+def bench_scale(default: float = 0.35) -> float:
+    """Scale factor for benchmark experiment runs."""
+    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+
+
+def save_result(result) -> str:
+    """Persist an ExperimentResult table; return the rendered text."""
+    OUT_DIR.mkdir(exist_ok=True)
+    table = result.to_table()
+    (OUT_DIR / f"{result.name}.txt").write_text(table + "\n")
+    return table
+
+
+@pytest.fixture(scope="session")
+def fig08_result():
+    """Figure 8 runs once per session; Figure 9 reuses it."""
+    from repro.experiments.fig08_applications import run_fig08
+
+    return run_fig08(scale=bench_scale())

@@ -1,0 +1,100 @@
+"""Bench: ablations of Catnap's design constants (DESIGN.md extras).
+
+Each sweep regenerates the sensitivity data behind the paper's fixed
+constants.  Assertions are deliberately loose — they pin the direction
+of each trade-off, not exact values.
+"""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.ablations import (
+    run_ablation_bfm_threshold,
+    run_ablation_idle_detect,
+    run_ablation_rcs_period,
+    run_ablation_region_divisions,
+    run_ablation_wakeup_delay,
+)
+
+LOW, MID = 0.03, 0.22
+
+
+def _at(result, knob, value, load):
+    return next(
+        r for r in result.rows if r[knob] == value and r["load"] == load
+    )
+
+
+def test_ablation_bfm_threshold(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_bfm_threshold,
+        kwargs={"scale": bench_scale(), "thresholds": (3, 9, 15)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    # A tiny threshold escalates eagerly: more subnets awake, less CSC.
+    eager = _at(result, "threshold", 3, LOW)
+    default = _at(result, "threshold", 9, LOW)
+    assert eager["csc_pct"] <= default["csc_pct"] + 3
+    # A huge threshold postpones escalation: mid-load latency suffers
+    # relative to the default.
+    lax = _at(result, "threshold", 15, MID)
+    assert lax["latency"] >= default["latency"] * 0.5
+
+
+def test_ablation_rcs_period(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_rcs_period,
+        kwargs={"scale": bench_scale(), "periods": (1, 6, 48)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    # A very slow OR network hurts mid-load latency vs the paper's 6.
+    slow = _at(result, "period", 48, MID)
+    paper = _at(result, "period", 6, MID)
+    assert slow["latency"] >= paper["latency"] * 0.8
+
+
+def test_ablation_idle_detect(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_idle_detect,
+        kwargs={"scale": bench_scale(), "values": (1, 4, 32)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    aggressive = _at(result, "idle_detect", 1, LOW)
+    lazy = _at(result, "idle_detect", 32, LOW)
+    # Waiting 32 idle cycles forfeits sleep time at low load.
+    assert aggressive["csc_pct"] >= lazy["csc_pct"]
+
+
+def test_ablation_region_divisions(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_region_divisions,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    # A global OR (divisions=1) wakes everything everywhere: CSC at low
+    # load can only be <= the quadrant design's.
+    global_or = _at(result, "divisions", 1, LOW)
+    quadrants = _at(result, "divisions", 2, LOW)
+    assert global_or["csc_pct"] <= quadrants["csc_pct"] + 5
+
+
+def test_ablation_wakeup_delay(benchmark):
+    result = benchmark.pedantic(
+        run_ablation_wakeup_delay,
+        kwargs={"scale": bench_scale(), "delays": (2, 10, 20)},
+        rounds=1,
+        iterations=1,
+    )
+    save_result(result)
+    fast = _at(result, "wakeup", 2, LOW)
+    slow = _at(result, "wakeup", 20, LOW)
+    assert slow["latency"] >= fast["latency"] - 1.0

@@ -1,0 +1,24 @@
+"""Bench: class-specialized subnets vs Catnap (extension, paper §7.2)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.ext_specialization import run_ext_class_partition
+
+
+def test_ext_class_partition(benchmark):
+    result = benchmark.pedantic(
+        run_ext_class_partition,
+        kwargs={"scale": bench_scale()},
+        rounds=1,
+        iterations=1,
+    )
+    table = save_result(result)
+    catnap = result.select(policy="catnap")[0]
+    partition = result.select(policy="class_partition")[0]
+    # The paper's §7.2 argument: specializing subnets per message class
+    # forfeits Catnap's sleep opportunities and costs performance.
+    assert catnap["csc_pct"] > partition["csc_pct"] + 10
+    assert partition["normalized_perf"] < 1.02
+    print(table)

@@ -1,0 +1,25 @@
+"""Bench: regenerate Figure 2 (need for a high-bandwidth network)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.fig02_bandwidth import run_fig02
+
+
+def test_fig02(benchmark):
+    result = benchmark.pedantic(
+        run_fig02, kwargs={"scale": bench_scale()}, rounds=1, iterations=1
+    )
+    table = save_result(result)
+    light = {r["config"]: r for r in result.select(workload="Light")}
+    heavy = {r["config"]: r for r in result.select(workload="Heavy")}
+    # Paper: Heavy loses ~41% on the under-provisioned 128b network;
+    # Light is largely insensitive.  Shape check: a big Heavy gap, a
+    # small Light gap.
+    heavy_loss = 1.0 - heavy["1NT-128b"]["normalized_perf"]
+    light_loss = 1.0 - light["1NT-128b"]["normalized_perf"]
+    assert heavy_loss > 0.20, f"expected deep Heavy loss, got {heavy_loss}"
+    assert light_loss < 0.12, f"Light should barely lose: {light_loss}"
+    assert heavy_loss > light_loss + 0.10
+    print(table)

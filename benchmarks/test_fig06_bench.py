@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 6 (throughput/latency vs subnet count)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.fig06_subnet_scaling import run_fig06
+
+
+def test_fig06(benchmark):
+    result = benchmark.pedantic(
+        run_fig06, kwargs={"scale": bench_scale()}, rounds=1, iterations=1
+    )
+    table = save_result(result)
+    by_subnets = {r["num_subnets"]: r for r in result.rows}
+    # Paper: 4 subnets sustain roughly Single-NoC throughput; 8 lose.
+    t1 = by_subnets[1]["saturation_throughput"]
+    t4 = by_subnets[4]["saturation_throughput"]
+    t8 = by_subnets[8]["saturation_throughput"]
+    assert t4 > 0.8 * t1
+    assert t8 < t4
+    # Low-load latency rises with subnet count (serialization).
+    latencies = [by_subnets[n]["low_load_latency"] for n in (1, 2, 4, 8)]
+    assert latencies == sorted(latencies)
+    assert latencies[-1] - latencies[0] < 25
+    print(table)

@@ -1,0 +1,24 @@
+"""Bench: regenerate Figure 7 (power breakdown + voltage scaling)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig07_power_breakdown import run_fig07
+
+
+def test_fig07(benchmark):
+    result = benchmark(run_fig07)
+    table = save_result(result)
+    single, multi_hi, multi_lo = result.rows
+    # Paper shape: ~70W > ~65W > ~48W stacks.
+    assert single["total_w"] > multi_hi["total_w"] > multi_lo["total_w"]
+    assert 60 < single["total_w"] < 80
+    assert 40 < multi_lo["total_w"] < 58
+    # Crossbar: one wide crossbar costs more than four narrow ones.
+    assert single["crossbar"] > multi_hi["crossbar"]
+    # Control logic is duplicated across subnets.
+    assert multi_hi["control"] > single["control"]
+    # Buffers are roughly design-independent (constant aggregate bits).
+    assert abs(single["buffer"] - multi_hi["buffer"]) < 0.35 * single["buffer"]
+    print(table)

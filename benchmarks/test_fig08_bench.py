@@ -1,0 +1,40 @@
+"""Bench: regenerate Figure 8 (application power + performance) and
+the paper's headline result (-44% power for ~5% performance)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig08_applications import headline_summary
+
+
+def test_fig08(benchmark, fig08_result):
+    result = benchmark(lambda: fig08_result)
+    table = save_result(result)
+    summary = headline_summary(result)
+    # Headline shape: Multi-NoC-PG saves a large fraction of network
+    # power (paper 44%) at a modest performance cost (paper ~5%).
+    assert 25 < summary["power_saving_pct"] < 70
+    assert summary["performance_cost_pct"] < 15
+    # Static power ~equal for the two non-gated flagship designs.
+    single = result.select(workload="Average", config="1NT-512b")[0]
+    multi = result.select(workload="Average", config="4NT-128b")[0]
+    assert abs(single["static_w"] - multi["static_w"]) < 6
+    # Gating barely helps Single-NoC but transforms Multi-NoC.
+    single_pg = result.select(workload="Average", config="1NT-512b-PG")[0]
+    multi_pg = result.select(workload="Average", config="4NT-128b-PG")[0]
+    single_saving = single["static_w"] - single_pg["static_w"]
+    multi_saving = multi["static_w"] - multi_pg["static_w"]
+    assert multi_saving > 4 * max(single_saving, 0.5)
+    print(table)
+    print("headline:", summary)
+
+
+def test_fig08_light_perf_story(benchmark, fig08_result):
+    """Single-NoC-PG pays ~10% on Light; Catnap pays little."""
+    result = benchmark(lambda: fig08_result)
+    light = {r["config"]: r for r in result.select(workload="Light")}
+    single_pg_loss = 1 - light["1NT-512b-PG"]["normalized_perf"]
+    catnap_loss = 1 - light["4NT-128b-PG"]["normalized_perf"]
+    assert single_pg_loss > 0.05
+    assert catnap_loss < single_pg_loss

@@ -1,0 +1,26 @@
+"""Bench: regenerate Figure 9 (compensated sleep cycles, apps)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig09_csc import run_fig09
+
+
+def test_fig09(benchmark, fig08_result):
+    result = benchmark.pedantic(
+        run_fig09,
+        kwargs={"fig08_result": fig08_result},
+        rounds=1,
+        iterations=1,
+    )
+    table = save_result(result)
+    light_multi = result.select(workload="Light", config="4NT-128b-PG")[0]
+    light_single = result.select(workload="Light", config="1NT-512b-PG")[0]
+    heavy_multi = result.select(workload="Heavy", config="4NT-128b-PG")[0]
+    # Paper: ~70% CSC for Multi-NoC on Light, near zero for Single-NoC.
+    assert light_multi["csc_pct"] > 50
+    assert light_single["csc_pct"] < 20
+    # CSC shrinks as network demand grows.
+    assert heavy_multi["csc_pct"] < light_multi["csc_pct"]
+    print(table)

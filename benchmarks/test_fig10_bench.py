@@ -1,0 +1,37 @@
+"""Bench: regenerate Figure 10 (uniform random sweep, gating on/off)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.fig10_uniform_pg import run_fig10
+
+
+def test_fig10(benchmark):
+    result = benchmark.pedantic(
+        run_fig10, kwargs={"scale": bench_scale()}, rounds=1, iterations=1
+    )
+    table = save_result(result)
+
+    def at(config, load):
+        return result.select(config=config, load=load)[0]
+
+    low = 0.03
+    multi_pg = at("4NT-128b-PG", low)
+    single_pg = at("1NT-512b-PG", low)
+    # Paper (a)+(b): at low load Multi-PG exposes ~74% CSC and a small
+    # fraction of Single-NoC's power; Single-PG exposes ~10% CSC.
+    assert multi_pg["csc_pct"] > 55
+    assert single_pg["csc_pct"] < 25
+    assert multi_pg["power_w"] < 0.6 * single_pg["power_w"]
+    # (c) throughput at saturation unaffected by gating.
+    high = result.rows and max(r["load"] for r in result.rows)
+    plain = at("4NT-128b", high)
+    gated = at("4NT-128b-PG", high)
+    assert abs(gated["throughput"] - plain["throughput"]) < 0.2 * max(
+        plain["throughput"], 0.01
+    )
+    # (d) Single-NoC-PG pays latency at low load.
+    single = at("1NT-512b", low)
+    assert single_pg["latency"] > single["latency"] + 3
+    print(table)

@@ -1,0 +1,42 @@
+"""Bench: regenerate Figure 11 (congestion metrics comparison)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.fig11_congestion_metrics import run_fig11
+
+LOADS = (0.05, 0.20, 0.36)
+
+
+def test_fig11(benchmark):
+    result = benchmark.pedantic(
+        run_fig11,
+        kwargs={"scale": bench_scale(), "loads": LOADS},
+        rounds=1,
+        iterations=1,
+    )
+    table = save_result(result)
+
+    def latency(variant, pattern, load):
+        return result.select(
+            variant=variant, pattern=pattern, load=load
+        )[0]["latency"]
+
+    def csc(variant, pattern, load):
+        return result.select(
+            variant=variant, pattern=pattern, load=load
+        )[0]["csc_pct"]
+
+    # RR pays heavy latency at low load (Single-NoC-like gating churn).
+    assert latency("RR", "uniform", 0.05) > latency("BFM", "uniform", 0.05)
+    # BFM exposes far more CSC than RR (panel d).
+    assert csc("BFM", "uniform", 0.05) > csc("RR", "uniform", 0.05) + 15
+    # BFM and Delay behave similarly (the paper picks BFM for cost).
+    bfm = latency("BFM", "uniform", 0.20)
+    delay = latency("Delay", "uniform", 0.20)
+    assert abs(bfm - delay) < 0.6 * max(bfm, delay)
+    # On the adversarial pattern, mid-load BFM must stay stable (no
+    # blow-up), while IQOcc reacts too slowly.
+    assert latency("BFM", "transpose", 0.20) < 250
+    print(table)

@@ -1,0 +1,28 @@
+"""Bench: regenerate Figure 12 (bursty ramp-up and decay)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.fig12_bursty import run_fig12
+
+
+def test_fig12(benchmark):
+    result = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    table = save_result(result)
+
+    def window(lo, hi, key):
+        rows = [r for r in result.rows if lo < r["cycle"] <= hi]
+        return sum(r[key] for r in rows) / len(rows)
+
+    # Accepted throughput catches the 0.30 burst within ~200 cycles.
+    assert window(1200, 1500, "accepted") > 0.25
+    # During the big burst all four subnets carry load.
+    for subnet in ("subnet0", "subnet1", "subnet2", "subnet3"):
+        assert window(1150, 1500, subnet) > 0.10
+    # The small burst (0.10) leaves the highest subnet ~unused.
+    assert window(2100, 2500, "subnet3") < 0.10
+    # After each burst traffic returns to subnet 0.
+    assert window(1700, 2000, "subnet0") > 0.9
+    assert window(2700, 3000, "subnet0") > 0.9
+    print(table)

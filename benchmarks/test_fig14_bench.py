@@ -1,0 +1,23 @@
+"""Bench: regenerate Figure 14 (64-core processor)."""
+
+from __future__ import annotations
+
+from conftest import bench_scale, save_result
+
+from repro.experiments.fig14_64core import run_fig14
+
+
+def test_fig14(benchmark):
+    result = benchmark.pedantic(
+        run_fig14, kwargs={"scale": bench_scale()}, rounds=1, iterations=1
+    )
+    table = save_result(result)
+    single = {r["load"]: r for r in result.select(config="1NT-256b-PG")}
+    multi = {r["load"]: r for r in result.select(config="2NT-128b-PG")}
+    # Paper at load 0.03: ~50% CSC for 2NT-128b vs ~17% for 1NT-256b.
+    assert multi[0.03]["csc_pct"] > 35
+    assert single[0.03]["csc_pct"] < 30
+    assert multi[0.03]["csc_pct"] > single[0.03]["csc_pct"] + 15
+    # Benefits are smaller than the 256-core 4-subnet system (~74%).
+    assert multi[0.03]["csc_pct"] < 70
+    print(table)

@@ -1,0 +1,22 @@
+"""Bench: regenerate Table 2 (voltage/frequency operating points)."""
+
+from __future__ import annotations
+
+from conftest import save_result
+
+from repro.experiments.table02_voltage import run_table02
+
+
+def test_table02(benchmark):
+    result = benchmark(run_table02)
+    table = save_result(result)
+    rows = {
+        (r["router_width_bits"], r["voltage_v"]): r["frequency_ghz"]
+        for r in result.rows
+    }
+    # Exact reproduction of the paper's Table 2.
+    assert rows[(512, 0.750)] == 2.0
+    assert rows[(512, 0.625)] == 1.4
+    assert rows[(128, 0.750)] == 2.9
+    assert rows[(128, 0.625)] == 2.0
+    print(table)

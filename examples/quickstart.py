@@ -1,0 +1,64 @@
+"""Quickstart: simulate a Catnap Multi-NoC and read its key metrics.
+
+Builds the paper's flagship configuration (a 256-core, 8x8 concentrated
+mesh carved into four 128-bit subnets with Catnap power gating), drives
+it with uniform random traffic at a low and a moderate load, and prints
+latency, throughput, compensated sleep cycles, and network power.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    MultiNocFabric,
+    NocConfig,
+    SimulationPhases,
+    SyntheticTrafficSource,
+    make_pattern,
+    run_open_loop,
+)
+from repro.power import compute_network_power
+from repro.util.tables import format_table
+
+
+def measure(config: NocConfig, load: float) -> dict:
+    """Run one open-loop experiment and summarize it as a row."""
+    fabric = MultiNocFabric(config, seed=1)
+    pattern = make_pattern("uniform", fabric.mesh)
+    source = SyntheticTrafficSource(fabric, pattern, load, seed=1)
+    report = run_open_loop(
+        fabric, source, SimulationPhases(warmup=500, measure=2000,
+                                         cooldown=500)
+    )
+    power = compute_network_power(report)
+    return {
+        "config": config.name,
+        "load": load,
+        "latency_cyc": report.avg_packet_latency,
+        "throughput": report.throughput_packets,
+        "csc_pct": 100 * report.csc_fraction,
+        "power_w": power.total_watts,
+        "subnet_share": " ".join(
+            f"{share:.2f}" for share in report.subnet_injection_share
+        ),
+    }
+
+
+def main() -> None:
+    catnap = NocConfig.multi_noc(num_subnets=4, power_gating=True)
+    single = NocConfig.single_noc_512()
+    rows = []
+    for load in (0.03, 0.25):
+        rows.append(measure(single, load))
+        rows.append(measure(catnap, load))
+    print(format_table(rows, title="Catnap quickstart (uniform random)"))
+    print(
+        "\nAt low load Catnap powers off most routers of the higher-order"
+        "\nsubnets (high CSC, low power); at high load it spreads traffic"
+        "\nacross all subnets and matches Single-NoC throughput."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy installer shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments whose setuptools
+lacks PEP 660 editable-wheel support.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,54 @@
+"""Catnap: energy proportional multiple network-on-chip (ISCA 2013).
+
+A full reproduction of the Catnap architecture: a cycle-level multiple
+network-on-chip simulator with congestion-aware subnet selection,
+regional congestion detection, router power gating, an Orion-2-style
+power model, and a closed-loop 256-core processor substrate.
+
+Quickstart::
+
+    from repro import NocConfig, MultiNocFabric, run_open_loop
+    from repro import SyntheticTrafficSource, make_pattern
+
+    config = NocConfig.multi_noc(num_subnets=4, power_gating=True)
+    fabric = MultiNocFabric(config)
+    pattern = make_pattern("uniform", fabric.mesh)
+    source = SyntheticTrafficSource(fabric, pattern, load=0.05)
+    report = run_open_loop(fabric, source)
+    print(report.avg_packet_latency, report.csc_fraction)
+"""
+
+from repro.noc import (
+    CongestionConfig,
+    FabricReport,
+    MessageClass,
+    MultiNocFabric,
+    NocConfig,
+    Packet,
+    PowerGatingConfig,
+    SimulationPhases,
+    run_open_loop,
+)
+from repro.traffic import (
+    BurstyTrafficSource,
+    SyntheticTrafficSource,
+    make_pattern,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CongestionConfig",
+    "FabricReport",
+    "MessageClass",
+    "MultiNocFabric",
+    "NocConfig",
+    "Packet",
+    "PowerGatingConfig",
+    "SimulationPhases",
+    "run_open_loop",
+    "BurstyTrafficSource",
+    "SyntheticTrafficSource",
+    "make_pattern",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Catnap's contribution: congestion-aware subnet selection + gating."""
+
+from repro.core.congestion import (
+    BlockingDelayMetric,
+    BufferAverageMetric,
+    BufferMaxMetric,
+    HysteresisLatch,
+    InjectionQueueMetric,
+    InjectionRateMetric,
+    LocalCongestionMetric,
+    make_metric,
+)
+from repro.core.gating import (
+    GatingPolicy,
+    GatingStats,
+    PowerGatingController,
+)
+from repro.core.monitor import CongestionMonitor
+from repro.core.policies import (
+    CatnapPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    SubnetSelectionPolicy,
+    make_policy,
+)
+from repro.core.regional import (
+    OR_NETWORK_SWITCH_ENERGY_J,
+    RegionalCongestionNetwork,
+)
+
+__all__ = [
+    "BlockingDelayMetric",
+    "BufferAverageMetric",
+    "BufferMaxMetric",
+    "HysteresisLatch",
+    "InjectionQueueMetric",
+    "InjectionRateMetric",
+    "LocalCongestionMetric",
+    "make_metric",
+    "GatingPolicy",
+    "GatingStats",
+    "PowerGatingController",
+    "CongestionMonitor",
+    "CatnapPolicy",
+    "RandomPolicy",
+    "RoundRobinPolicy",
+    "SubnetSelectionPolicy",
+    "make_policy",
+    "OR_NETWORK_SWITCH_ENERGY_J",
+    "RegionalCongestionNetwork",
+]

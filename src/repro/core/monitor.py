@@ -1,0 +1,121 @@
+"""Per-node, per-subnet congestion monitoring.
+
+``CongestionMonitor`` owns one local metric + hysteresis latch per
+(node, subnet), feeds the regional OR network, and answers the two
+questions Catnap's policies ask every cycle:
+
+* :meth:`is_congested` — LCS **or** RCS; drives subnet selection.
+* :meth:`gating_status` — the lower-order-subnet status the power-gating
+  policy conditions on (RCS when the OR network is enabled, otherwise
+  the node's own LCS — the paper's *BFM-local* variant).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.congestion import HysteresisLatch, make_metric
+from repro.core.regional import RegionalCongestionNetwork
+from repro.noc.config import NocConfig
+from repro.noc.topology import ConcentratedMesh
+
+if TYPE_CHECKING:
+    from repro.noc.interface import NetworkInterface
+    from repro.noc.network import SubnetNetwork
+
+__all__ = ["CongestionMonitor"]
+
+
+class CongestionMonitor:
+    """Evaluates LCS every cycle and RCS every update period."""
+
+    def __init__(self, config: NocConfig, mesh: ConcentratedMesh) -> None:
+        self.config = config
+        self.mesh = mesh
+        self.num_subnets = config.num_subnets
+        self.num_nodes = mesh.num_nodes
+        cc = config.congestion
+        # metrics[subnet][node], latches[subnet][node]
+        self._metrics = [
+            [make_metric(cc, subnet) for _ in range(self.num_nodes)]
+            for subnet in range(self.num_subnets)
+        ]
+        self._latches = [
+            [HysteresisLatch(cc.hold_cycles) for _ in range(self.num_nodes)]
+            for _ in range(self.num_subnets)
+        ]
+        #: lcs[subnet][node] — latched local congestion status.
+        self.lcs = [
+            [False] * self.num_nodes for _ in range(self.num_subnets)
+        ]
+        self.regional = RegionalCongestionNetwork(
+            mesh, self.num_subnets, cc.rcs_update_period, cc.rcs_divisions
+        )
+        self.use_regional = cc.use_regional
+        self.needs_blocking_counters = (
+            self._metrics[0][0].needs_blocking_counters
+            if self.num_nodes
+            else False
+        )
+        # Buffer-occupancy metrics are identically False over an empty
+        # subnet, so idle subnets can skip per-node evaluation entirely
+        # (as long as no latch is still holding a congested status).
+        self._idle_skippable = cc.metric in ("bfm", "bfa")
+        self._latched_count = [0] * self.num_subnets
+
+    # ------------------------------------------------------------------
+    def update(
+        self,
+        cycle: int,
+        subnets: "list[SubnetNetwork]",
+        nis: "list[NetworkInterface]",
+    ) -> None:
+        """Re-evaluate every LCS and (on boundaries) latch RCS."""
+        lcs = self.lcs
+        latched_count = self._latched_count
+        for subnet_idx, network in enumerate(subnets):
+            if (
+                self._idle_skippable
+                and network.flits_in_network == 0
+                and latched_count[subnet_idx] == 0
+            ):
+                continue
+            metrics = self._metrics[subnet_idx]
+            latches = self._latches[subnet_idx]
+            routers = network.routers
+            lcs_row = lcs[subnet_idx]
+            count = 0
+            for node in range(self.num_nodes):
+                raw = metrics[node].evaluate(cycle, routers[node], nis[node])
+                state = latches[node].update(cycle, raw)
+                lcs_row[node] = state
+                if state:
+                    count += 1
+            latched_count[subnet_idx] = count
+        if self.use_regional:
+            self.regional.update(cycle, lcs)
+
+    # ------------------------------------------------------------------
+    def is_congested(self, node: int, subnet: int) -> bool:
+        """Subnet-selection view: LCS(node) OR RCS(region of node)."""
+        if self.lcs[subnet][node]:
+            return True
+        if self.use_regional:
+            return self.regional.rcs(subnet, node)
+        return False
+
+    def gating_status(self, node: int, subnet: int) -> bool:
+        """Power-gating view of the given subnet's congestion at ``node``.
+
+        Catnap gates a router in subnet *h* against the congestion of
+        subnet *h−1*; with the OR network this is the regional bit, in
+        the BFM-local ablation it is the node's own LCS.
+        """
+        if self.use_regional:
+            return self.regional.rcs(subnet, node)
+        return self.lcs[subnet][node]
+
+    def congested_fraction(self, subnet: int) -> float:
+        """Fraction of nodes whose LCS is set (diagnostics)."""
+        row = self.lcs[subnet]
+        return sum(row) / len(row) if row else 0.0

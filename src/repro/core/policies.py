@@ -1,0 +1,159 @@
+"""Subnet-selection policies (paper §3.2).
+
+The NI consults its policy when the packet at the head of the injection
+queue needs a subnet:
+
+* **CatnapPolicy** — strict priority: the lowest-order subnet whose
+  congestion status (LCS or RCS) is clear; when every subnet is close to
+  congestion, round-robin among them.  This is what exposes long idle
+  periods in higher-order subnets.
+* **RoundRobinPolicy** / **RandomPolicy** — the load-balancing baselines
+  the paper shows squander power-gating opportunity.
+* **ClassPartitionPolicy** — subnets specialized per message class
+  (CCNoC-style, paper §7.2); included so the paper's load-imbalance
+  argument against specialization is reproducible.
+
+The IR-threshold variant of Figure 13 is CatnapPolicy combined with the
+``ir`` congestion metric, not a separate policy class.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from typing import TYPE_CHECKING
+
+from repro.core.monitor import CongestionMonitor
+from repro.noc.flit import MessageClass
+from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.noc.flit import Packet
+
+__all__ = [
+    "SubnetSelectionPolicy",
+    "CatnapPolicy",
+    "RoundRobinPolicy",
+    "RandomPolicy",
+    "ClassPartitionPolicy",
+    "make_policy",
+]
+
+
+class SubnetSelectionPolicy(ABC):
+    """Chooses the subnet the head packet of a node is injected into."""
+
+    def __init__(self, num_subnets: int) -> None:
+        if num_subnets < 1:
+            raise ValueError("num_subnets must be >= 1")
+        self.num_subnets = num_subnets
+
+    @abstractmethod
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
+        """Return the subnet index for the next packet at ``node``.
+
+        ``packet`` is the head packet when the caller has one; only
+        class-aware policies use it.
+        """
+
+
+class CatnapPolicy(SubnetSelectionPolicy):
+    """Priority ordering with congestion-driven escalation."""
+
+    def __init__(
+        self, num_subnets: int, monitor: CongestionMonitor, num_nodes: int
+    ) -> None:
+        super().__init__(num_subnets)
+        self.monitor = monitor
+        self._rr = [0] * num_nodes
+
+    def select(self, node, cycle, packet=None):
+        monitor = self.monitor
+        for subnet in range(self.num_subnets):
+            if not monitor.is_congested(node, subnet):
+                return subnet
+        # All subnets close to congestion: round-robin among them.
+        choice = self._rr[node]
+        self._rr[node] = (choice + 1) % self.num_subnets
+        return choice
+
+
+class RoundRobinPolicy(SubnetSelectionPolicy):
+    """Per-node round-robin across all subnets (baseline)."""
+
+    def __init__(self, num_subnets: int, num_nodes: int) -> None:
+        super().__init__(num_subnets)
+        self._rr = [0] * num_nodes
+
+    def select(self, node, cycle, packet=None):
+        choice = self._rr[node]
+        self._rr[node] = (choice + 1) % self.num_subnets
+        return choice
+
+
+class RandomPolicy(SubnetSelectionPolicy):
+    """Uniform random subnet choice (baseline)."""
+
+    def __init__(self, num_subnets: int, rng: DeterministicRng) -> None:
+        super().__init__(num_subnets)
+        self._rng = rng
+
+    def select(self, node, cycle, packet=None):
+        return self._rng.randrange(self.num_subnets)
+
+
+class ClassPartitionPolicy(SubnetSelectionPolicy):
+    """Specialize subnets per message class (CCNoC-style, §7.2).
+
+    Control-heavy classes (request/forward) share the lower-order
+    subnets while data responses take the upper ones; synthetic traffic
+    round-robins.  The paper argues this causes load imbalance across
+    subnets — data traffic carries most of the bits — and that is the
+    behaviour this policy exposes for comparison experiments.
+    """
+
+    def __init__(self, num_subnets: int, num_nodes: int) -> None:
+        super().__init__(num_subnets)
+        self._rr = [0] * num_nodes
+        half = max(1, num_subnets // 2)
+        self._class_map = {
+            MessageClass.REQUEST: range(0, half),
+            MessageClass.FORWARD: range(0, half),
+            MessageClass.RESPONSE: range(half, num_subnets),
+            MessageClass.SYNTHETIC: range(0, num_subnets),
+        }
+
+    def select(self, node, cycle, packet=None):
+        if packet is None:
+            candidates = range(self.num_subnets)
+        else:
+            candidates = self._class_map[packet.message_class]
+        candidates = list(candidates)
+        choice = candidates[self._rr[node] % len(candidates)]
+        self._rr[node] += 1
+        return choice
+
+
+def make_policy(
+    name: str,
+    num_subnets: int,
+    num_nodes: int,
+    monitor: CongestionMonitor,
+    rng: DeterministicRng,
+) -> SubnetSelectionPolicy:
+    """Build a selection policy by configuration name.
+
+    ``"ir"`` maps to the Catnap priority policy (the IR experiments vary
+    the congestion *metric*, not the selection discipline).
+    """
+    if name in ("catnap", "ir"):
+        return CatnapPolicy(num_subnets, monitor, num_nodes)
+    if name == "round_robin":
+        return RoundRobinPolicy(num_subnets, num_nodes)
+    if name == "random":
+        return RandomPolicy(num_subnets, rng.substream("policy"))
+    if name == "class_partition":
+        return ClassPartitionPolicy(num_subnets, num_nodes)
+    raise ValueError(f"unknown selection policy {name!r}")

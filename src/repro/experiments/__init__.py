@@ -1,0 +1,18 @@
+"""Per-figure experiment drivers (see DESIGN.md's experiment index)."""
+
+from repro.experiments.common import (
+    ExperimentResult,
+    run_application_point,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentResult",
+    "run_application_point",
+    "run_synthetic_point",
+    "synthetic_phases",
+    "EXPERIMENTS",
+    "run_experiment",
+]

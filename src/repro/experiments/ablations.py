@@ -1,0 +1,264 @@
+"""Ablation studies of Catnap's design choices.
+
+The paper fixes several constants (BFM threshold 9, RCS update period
+6, T-idle-detect 4, quadrant regions, hysteresis hold) after internal
+exploration; these drivers sweep each one so the sensitivity behind
+those choices is reproducible:
+
+* **BFM threshold** — small thresholds escalate early (less sleep),
+  large ones risk latency before escalation.
+* **RCS update period** — slower OR networks detect congestion later.
+* **T-idle-detect** — how long buffers must stay empty before sleeping;
+  small values cause short, uncompensated sleeps.
+* **Region granularity** — 1 (global OR) / 2 (paper's quadrants) / 4.
+* **Wakeup delay** — latency sensitivity to T-wakeup.
+* **Hysteresis hold** — stability of the congested status.
+
+Each driver measures a power-gated 4NT-128b Multi-NoC under uniform
+random traffic at a low (sleep-friendly) and a moderate (congestion-
+prone) load.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.noc.config import CongestionConfig, NocConfig, PowerGatingConfig
+
+__all__ = [
+    "run_ablation_bfm_threshold",
+    "run_ablation_rcs_period",
+    "run_ablation_idle_detect",
+    "run_ablation_region_divisions",
+    "run_ablation_wakeup_delay",
+    "run_ablation_hold_cycles",
+    "run_all_ablations",
+    "ABLATIONS",
+]
+
+LOW_LOAD = 0.03
+MID_LOAD = 0.22
+LOADS = (LOW_LOAD, MID_LOAD)
+
+
+def _base_config() -> NocConfig:
+    return NocConfig.multi_noc(4, power_gating=True)
+
+
+def _sweep(
+    name: str,
+    title: str,
+    knob: str,
+    configs: list[tuple[object, NocConfig]],
+    scale: float,
+    seed: int,
+    notes: str = "",
+) -> ExperimentResult:
+    phases = synthetic_phases(scale)
+    result = ExperimentResult(
+        name=name,
+        title=title,
+        columns=[knob, "load", "latency", "throughput", "csc_pct"],
+        notes=notes,
+    )
+    for value, config in configs:
+        for load in LOADS:
+            row = run_synthetic_point(config, "uniform", load, phases, seed)
+            row[knob] = value
+            result.rows.append(row)
+    return result
+
+
+def run_ablation_bfm_threshold(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    thresholds: tuple[int, ...] = (3, 6, 9, 12, 15),
+) -> ExperimentResult:
+    """Sweep the BFM congestion threshold (paper default: 9 flits)."""
+    configs = [
+        (
+            thr,
+            replace(
+                _base_config(),
+                congestion=replace(
+                    CongestionConfig(), bfm_threshold_flits=thr
+                ),
+            ),
+        )
+        for thr in thresholds
+    ]
+    return _sweep(
+        "abl_bfm_threshold",
+        "BFM threshold sensitivity",
+        "threshold",
+        configs,
+        scale,
+        seed,
+        notes="low thresholds trade sleep time for latency headroom",
+    )
+
+
+def run_ablation_rcs_period(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    periods: tuple[int, ...] = (1, 6, 18, 48),
+) -> ExperimentResult:
+    """Sweep the OR-network update period (paper: 6 cycles, SPICE)."""
+    configs = [
+        (
+            period,
+            replace(
+                _base_config(),
+                congestion=replace(
+                    CongestionConfig(), rcs_update_period=period
+                ),
+            ),
+        )
+        for period in periods
+    ]
+    return _sweep(
+        "abl_rcs_period",
+        "RCS update-period sensitivity",
+        "period",
+        configs,
+        scale,
+        seed,
+        notes="slow regional updates delay escalation and wakeup",
+    )
+
+
+def run_ablation_idle_detect(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    values: tuple[int, ...] = (1, 4, 12, 32),
+) -> ExperimentResult:
+    """Sweep T-idle-detect (paper: 4 cycles of empty buffers)."""
+    configs = [
+        (
+            value,
+            replace(
+                _base_config(),
+                gating=replace(
+                    PowerGatingConfig(), idle_detect_cycles=value
+                ),
+            ),
+        )
+        for value in values
+    ]
+    return _sweep(
+        "abl_idle_detect",
+        "Idle-detect window sensitivity",
+        "idle_detect",
+        configs,
+        scale,
+        seed,
+        notes="aggressive (small) windows risk short uncompensated sleeps",
+    )
+
+
+def run_ablation_region_divisions(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    divisions: tuple[int, ...] = (1, 2, 4),
+) -> ExperimentResult:
+    """Sweep OR-network granularity (paper: quadrants = 2 per axis)."""
+    configs = [
+        (
+            div,
+            replace(
+                _base_config(),
+                congestion=replace(CongestionConfig(), rcs_divisions=div),
+            ),
+        )
+        for div in divisions
+    ]
+    return _sweep(
+        "abl_region_divisions",
+        "Regional OR granularity (regions per axis)",
+        "divisions",
+        configs,
+        scale,
+        seed,
+        notes="1 = global OR (over-reacts), 4 = fine regions (under-react)",
+    )
+
+
+def run_ablation_wakeup_delay(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    delays: tuple[int, ...] = (2, 5, 10, 20),
+) -> ExperimentResult:
+    """Sweep T-wakeup (paper: 10 cycles from SPICE, 3 hidden)."""
+    configs = [
+        (
+            delay,
+            replace(
+                _base_config(),
+                gating=replace(
+                    PowerGatingConfig(),
+                    wakeup_cycles=delay,
+                    hidden_wakeup_cycles=min(3, delay),
+                ),
+            ),
+        )
+        for delay in delays
+    ]
+    return _sweep(
+        "abl_wakeup_delay",
+        "Wakeup-delay (T-wakeup) sensitivity",
+        "wakeup",
+        configs,
+        scale,
+        seed,
+        notes="longer wakeups penalize the first packets of each burst",
+    )
+
+
+def run_ablation_hold_cycles(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    holds: tuple[int, ...] = (1, 6, 24, 96),
+) -> ExperimentResult:
+    """Sweep the congested-status hysteresis hold time."""
+    configs = [
+        (
+            hold,
+            replace(
+                _base_config(),
+                congestion=replace(CongestionConfig(), hold_cycles=hold),
+            ),
+        )
+        for hold in holds
+    ]
+    return _sweep(
+        "abl_hold_cycles",
+        "Hysteresis hold-time sensitivity",
+        "hold",
+        configs,
+        scale,
+        seed,
+        notes="long holds keep higher subnets open after congestion ends",
+    )
+
+
+ABLATIONS = {
+    "abl_bfm_threshold": run_ablation_bfm_threshold,
+    "abl_rcs_period": run_ablation_rcs_period,
+    "abl_idle_detect": run_ablation_idle_detect,
+    "abl_region_divisions": run_ablation_region_divisions,
+    "abl_wakeup_delay": run_ablation_wakeup_delay,
+    "abl_hold_cycles": run_ablation_hold_cycles,
+}
+
+
+def run_all_ablations(
+    scale: float = 1.0, seed: int = DEFAULT_SEED
+) -> list[ExperimentResult]:
+    """Run every ablation driver."""
+    return [run(scale=scale, seed=seed) for run in ABLATIONS.values()]

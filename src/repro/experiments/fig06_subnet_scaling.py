@@ -1,0 +1,67 @@
+"""Figure 6 — performance of Single-NoC vs Multi-NoC designs.
+
+Bandwidth-equivalent designs with 1, 2, 4, and 8 subnets (1NT-512b …
+8NT-64b) under uniform random traffic, no power gating, round-robin
+subnet selection: (a) saturation throughput — dropping noticeably
+beyond four subnets — and (b) low-load latency — rising with subnet
+count through serialization (more flits per packet).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.noc.config import NocConfig
+
+__all__ = ["run_fig06", "SUBNET_COUNTS"]
+
+SUBNET_COUNTS = (1, 2, 4, 8)
+
+#: Offered load used to probe saturation throughput (packets/node/cyc).
+SATURATION_LOAD = 0.45
+
+#: Offered load used to probe zero-load (serialization) latency.
+LOW_LOAD = 0.02
+
+
+def run_fig06(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    subnet_counts: tuple[int, ...] = SUBNET_COUNTS,
+) -> ExperimentResult:
+    """Regenerate Figure 6 (throughput and latency vs subnet count)."""
+    phases = synthetic_phases(scale)
+    result = ExperimentResult(
+        name="fig06",
+        title="Throughput/latency vs number of subnets (uniform random)",
+        columns=[
+            "config", "num_subnets", "flits_per_packet",
+            "saturation_throughput", "low_load_latency",
+        ],
+        notes=(
+            "paper: ~equal throughput up to 4 subnets, loss at 8; "
+            "latency rises a few cycles per doubling (serialization)"
+        ),
+    )
+    for count in subnet_counts:
+        config = NocConfig.multi_noc(
+            num_subnets=count, selection_policy="round_robin"
+        )
+        saturated = run_synthetic_point(
+            config, "uniform", SATURATION_LOAD, phases, seed
+        )
+        low = run_synthetic_point(config, "uniform", LOW_LOAD, phases, seed)
+        result.rows.append(
+            {
+                "config": config.name,
+                "num_subnets": count,
+                "flits_per_packet": config.flits_per_packet(512),
+                "saturation_throughput": saturated["throughput"],
+                "low_load_latency": low["latency"],
+            }
+        )
+    return result

@@ -1,0 +1,123 @@
+"""Figure 8 — network power and system performance on applications.
+
+Six configurations (1NT-128b, 1NT-512b, 4NT-128b, each with and without
+power gating) run the four Table 3 workloads in the closed loop.  The
+no-gating Multi-NoC baseline uses round-robin subnet selection, the
+power-gated Multi-NoC uses Catnap (paper §6.1).  Performance is
+normalized per workload to 1NT-512b without power gating.
+
+The headline result lives here too: averaged over workloads, Catnap's
+4NT-128b-PG consumes ~44 % less network power than 1NT-512b for ~5 %
+performance cost (paper: 20 W vs 36 W).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    APPLICATION_CYCLES,
+    DEFAULT_SEED,
+    ExperimentResult,
+    run_application_point,
+)
+from repro.noc.config import NocConfig
+from repro.system.workloads import WORKLOAD_NAMES
+
+__all__ = ["run_fig08", "fig08_configs", "headline_summary"]
+
+
+def fig08_configs() -> list[NocConfig]:
+    """The six bars of Figure 8, in the paper's order."""
+    return [
+        NocConfig.single_noc_128(),
+        NocConfig.single_noc_512(),
+        NocConfig.multi_noc(4, selection_policy="round_robin"),
+        NocConfig.single_noc_128(power_gating=True),
+        NocConfig.single_noc_512(power_gating=True),
+        NocConfig.multi_noc(4, power_gating=True),
+    ]
+
+
+def run_fig08(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    workloads: tuple[str, ...] = WORKLOAD_NAMES,
+) -> ExperimentResult:
+    """Regenerate Figure 8 (and the Figure 9 CSC data it contains)."""
+    cycles = max(2000, round(APPLICATION_CYCLES * scale))
+    result = ExperimentResult(
+        name="fig08",
+        title="Network power and normalized performance, applications",
+        columns=[
+            "workload", "config", "power_w", "static_w", "dynamic_w",
+            "normalized_perf", "csc_pct",
+        ],
+        notes=(
+            "paper avg: Multi-NoC-PG ~20W vs Single-NoC ~36W (-44%), "
+            "~5% performance cost"
+        ),
+    )
+    baseline_name = NocConfig.single_noc_512().name
+    for workload in workloads:
+        rows = []
+        baseline_ipc = None
+        for config in fig08_configs():
+            row, _, _ = run_application_point(config, workload, cycles, seed)
+            rows.append(row)
+            if config.name == baseline_name and not config.gating.enabled:
+                baseline_ipc = row["ipc"]
+        assert baseline_ipc, "baseline configuration missing"
+        for row in rows:
+            row["normalized_perf"] = row["ipc"] / baseline_ipc
+            result.rows.append(row)
+    _append_average_rows(result)
+    return result
+
+
+def _append_average_rows(result: ExperimentResult) -> None:
+    """Add the per-config 'Average' rows the paper reports."""
+    configs = []
+    for row in result.rows:
+        key = (row["config"], row["policy"])
+        if key not in configs:
+            configs.append(key)
+    for config, policy in configs:
+        rows = [
+            row
+            for row in result.rows
+            if row["config"] == config
+            and row["policy"] == policy
+            and row["workload"] != "Average"
+        ]
+        count = len(rows)
+        result.rows.append(
+            {
+                "workload": "Average",
+                "config": config,
+                "policy": policy,
+                "power_w": sum(r["power_w"] for r in rows) / count,
+                "static_w": sum(r["static_w"] for r in rows) / count,
+                "dynamic_w": sum(r["dynamic_w"] for r in rows) / count,
+                "normalized_perf": (
+                    sum(r["normalized_perf"] for r in rows) / count
+                ),
+                "csc_pct": sum(r["csc_pct"] for r in rows) / count,
+            }
+        )
+
+
+def headline_summary(result: ExperimentResult) -> dict:
+    """The paper's headline numbers from a fig08 run.
+
+    Returns average power of 1NT-512b and 4NT-128b-PG, the relative
+    power saving, and the average performance cost of Catnap.
+    """
+    single = result.select(workload="Average", config="1NT-512b")[0]
+    multi_pg = result.select(workload="Average", config="4NT-128b-PG")[0]
+    return {
+        "single_noc_power_w": single["power_w"],
+        "multi_noc_pg_power_w": multi_pg["power_w"],
+        "power_saving_pct": 100.0
+        * (1.0 - multi_pg["power_w"] / single["power_w"]),
+        "performance_cost_pct": 100.0
+        * (1.0 - multi_pg["normalized_perf"]),
+    }

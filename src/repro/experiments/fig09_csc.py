@@ -1,0 +1,44 @@
+"""Figure 9 — compensated sleep cycles on application workloads.
+
+CSC (sleep cycles minus the break-even cost, as a percentage of all
+router-cycles) for the three power-gated configurations across the
+Table 3 workloads.  The paper reports ~70 % for Multi-NoC-PG on Light
+and near-zero for Single-NoC-PG everywhere.
+
+The data is a projection of the Figure 8 runs; ``run_fig09`` accepts an
+existing fig08 result to avoid re-simulating.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+from repro.experiments.fig08_applications import run_fig08
+
+__all__ = ["run_fig09"]
+
+_PG_CONFIGS = ("1NT-128b-PG", "1NT-512b-PG", "4NT-128b-PG")
+
+
+def run_fig09(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    fig08_result: ExperimentResult | None = None,
+) -> ExperimentResult:
+    """Regenerate Figure 9 (CSC percentages per workload)."""
+    source = fig08_result or run_fig08(scale, seed)
+    result = ExperimentResult(
+        name="fig09",
+        title="Compensated sleep cycles (%), application workloads",
+        columns=["workload", "config", "csc_pct"],
+        notes="paper: ~70% for 4NT-128b-PG on Light; ~0 for Single-NoC-PG",
+    )
+    for row in source.rows:
+        if row["config"] in _PG_CONFIGS:
+            result.rows.append(
+                {
+                    "workload": row["workload"],
+                    "config": row["config"],
+                    "csc_pct": row["csc_pct"],
+                }
+            )
+    return result

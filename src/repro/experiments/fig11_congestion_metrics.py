@@ -1,0 +1,92 @@
+"""Figure 11 — comparison of congestion metrics and policies.
+
+All variants are power-gated 4NT-128b Multi-NoCs; what changes is the
+subnet-selection discipline and the local congestion metric:
+
+* ``RR``          — round-robin selection + baseline gating,
+* ``BFA``         — Catnap with average buffer occupancy,
+* ``Delay``       — Catnap with sampled blocking delay,
+* ``BFM``         — Catnap with max buffer occupancy + regional OR,
+* ``BFM-local``   — BFM without the regional OR network,
+* ``IQOcc-local`` — injection-queue occupancy, local only.
+
+Panels (a)-(c) sweep latency vs offered load over uniform / transpose /
+bit-complement traffic; panel (d) compares CSC for RR vs BFM.  Expected
+shape: BFM and Delay track each other and win; RR pays heavy latency;
+BFA/IQOcc lose throughput; BFM-local trails regional BFM on the
+non-uniform patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.noc.config import CongestionConfig, NocConfig
+
+__all__ = ["run_fig11", "fig11_variants", "DEFAULT_LOADS", "VARIANT_NAMES"]
+
+DEFAULT_LOADS = (0.05, 0.12, 0.20, 0.28, 0.36, 0.44)
+
+VARIANT_NAMES = ("RR", "BFA", "Delay", "BFM", "BFM-local", "IQOcc-local")
+
+
+def fig11_variants() -> dict[str, NocConfig]:
+    """Map variant label -> fabric configuration."""
+    base = NocConfig.multi_noc(4, power_gating=True)
+
+    def with_metric(metric: str, regional: bool) -> NocConfig:
+        return replace(
+            base,
+            congestion=replace(
+                CongestionConfig(), metric=metric, use_regional=regional
+            ),
+        )
+
+    return {
+        "RR": base.with_policy("round_robin"),
+        "BFA": with_metric("bfa", True),
+        "Delay": with_metric("delay", True),
+        "BFM": with_metric("bfm", True),
+        "BFM-local": with_metric("bfm", False),
+        "IQOcc-local": with_metric("iqocc", False),
+    }
+
+
+def run_fig11(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+    patterns: tuple[str, ...] = ("uniform", "transpose", "bit_complement"),
+    variants: tuple[str, ...] = VARIANT_NAMES,
+) -> ExperimentResult:
+    """Regenerate Figure 11 (latency + CSC per metric/policy)."""
+    phases = synthetic_phases(scale)
+    all_variants = fig11_variants()
+    result = ExperimentResult(
+        name="fig11",
+        title="Congestion metrics: latency and CSC vs offered load",
+        columns=[
+            "variant", "pattern", "load", "latency", "throughput", "csc_pct",
+        ],
+        notes=(
+            "paper: BFM ~ Delay best; RR high latency/low CSC; "
+            "BFA & IQOcc lose throughput; regional beats local on "
+            "non-uniform patterns"
+        ),
+    )
+    for variant in variants:
+        config = all_variants[variant]
+        for pattern in patterns:
+            for load in loads:
+                row = run_synthetic_point(
+                    config, pattern, load, phases, seed
+                )
+                row["variant"] = variant
+                result.rows.append(row)
+    return result

@@ -1,0 +1,48 @@
+"""Figure 14 — Catnap on a smaller 64-core processor.
+
+A 4x4 concentrated mesh (64 cores, 256-bit aggregate width): 1NT-256b
+vs 2NT-128b, both power-gated, under uniform random traffic.  The
+paper reports ~50 % CSC for the two-subnet Multi-NoC at a load of 0.03
+against ~17 % for the Single-NoC, with the usual latency story — lower
+benefits than the 256-core system because only two subnets fit the
+bandwidth budget.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.noc.config import NocConfig
+
+__all__ = ["run_fig14", "DEFAULT_LOADS"]
+
+DEFAULT_LOADS = (0.01, 0.03, 0.07, 0.12, 0.18, 0.25)
+
+
+def run_fig14(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    loads: tuple[float, ...] = DEFAULT_LOADS,
+) -> ExperimentResult:
+    """Regenerate Figure 14 (64-core CSC and latency vs load)."""
+    phases = synthetic_phases(scale)
+    configs = [
+        NocConfig.mesh_64_core(num_subnets=1, power_gating=True),
+        NocConfig.mesh_64_core(num_subnets=2, power_gating=True),
+    ]
+    result = ExperimentResult(
+        name="fig14",
+        title="64-core (4x4 cmesh): CSC and latency vs offered load",
+        columns=["config", "load", "csc_pct", "latency", "throughput"],
+        notes="paper at load 0.03: 2NT-128b ~50% CSC vs 1NT-256b ~17%",
+    )
+    for config in configs:
+        for load in loads:
+            result.rows.append(
+                run_synthetic_point(config, "uniform", load, phases, seed)
+            )
+    return result

@@ -1,0 +1,37 @@
+"""Table 2 — voltage and frequency of 512-bit vs 128-bit routers.
+
+Regenerated directly from the fitted 32 nm delay model in
+:mod:`repro.power.technology`; reproduces the paper's four operating
+points exactly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.power.technology import table2_rows
+
+__all__ = ["run_table02"]
+
+
+def run_table02(scale: float = 1.0) -> ExperimentResult:
+    """Regenerate Table 2 (``scale`` accepted for API uniformity)."""
+    result = ExperimentResult(
+        name="table02",
+        title="Router width vs frequency vs voltage (32nm)",
+        columns=[
+            "design", "router_width_bits", "frequency_ghz", "voltage_v",
+            "highlighted",
+        ],
+        notes="highlighted rows are the evaluated 2 GHz operating points",
+    )
+    for point in table2_rows():
+        result.rows.append(
+            {
+                "design": point.design,
+                "router_width_bits": point.router_width_bits,
+                "frequency_ghz": point.frequency_ghz,
+                "voltage_v": point.voltage_v,
+                "highlighted": point.highlighted,
+            }
+        )
+    return result

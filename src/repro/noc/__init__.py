@@ -1,0 +1,50 @@
+"""Cycle-level network-on-chip substrate.
+
+Public entry points: :class:`NocConfig` describes a fabric;
+:class:`MultiNocFabric` instantiates it; :func:`run_open_loop` drives an
+open-loop experiment.
+"""
+
+from repro.noc.config import (
+    AGGREGATE_WIDTH_BITS_64_CORE,
+    AGGREGATE_WIDTH_BITS_256_CORE,
+    CONTROL_PACKET_BITS,
+    DATA_PACKET_BITS,
+    SYNTHETIC_PACKET_BITS,
+    CongestionConfig,
+    NocConfig,
+    PowerGatingConfig,
+    RouterTimingConfig,
+)
+from repro.noc.flit import Flit, MessageClass, Packet
+from repro.noc.multinoc import FabricReport, MultiNocFabric
+from repro.noc.router import PowerState, Router
+from repro.noc.routing import XYRouting
+from repro.noc.simulator import SimulationPhases, run_open_loop
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import ConcentratedMesh, Port
+
+__all__ = [
+    "AGGREGATE_WIDTH_BITS_64_CORE",
+    "AGGREGATE_WIDTH_BITS_256_CORE",
+    "CONTROL_PACKET_BITS",
+    "DATA_PACKET_BITS",
+    "SYNTHETIC_PACKET_BITS",
+    "CongestionConfig",
+    "NocConfig",
+    "PowerGatingConfig",
+    "RouterTimingConfig",
+    "Flit",
+    "MessageClass",
+    "Packet",
+    "FabricReport",
+    "MultiNocFabric",
+    "PowerState",
+    "Router",
+    "XYRouting",
+    "SimulationPhases",
+    "run_open_loop",
+    "NetworkStats",
+    "ConcentratedMesh",
+    "Port",
+]

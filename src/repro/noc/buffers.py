@@ -1,0 +1,103 @@
+"""Input-buffer and virtual-channel state for a router port.
+
+The paper's routers are input-buffered with 4 virtual channels per port
+and 4 flits per VC; buffer depth *in flits* is constant across network
+configurations (§2.3).  Flow control is credit-based per VC.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.noc.flit import Flit, MessageClass
+
+__all__ = ["VirtualChannel", "InputPort", "vc_candidates"]
+
+#: Virtual channels each message class may allocate.  Dependent protocol
+#: classes are kept on disjoint VCs for protocol-level deadlock freedom
+#: (paper §2.3); synthetic traffic may use any VC.
+_VC_MAP_4 = {
+    MessageClass.REQUEST: (0,),
+    MessageClass.FORWARD: (1,),
+    MessageClass.RESPONSE: (2, 3),
+    MessageClass.SYNTHETIC: (0, 1, 2, 3),
+}
+
+
+def vc_candidates(message_class: int, vcs_per_port: int) -> tuple[int, ...]:
+    """Virtual channels ``message_class`` may use on a port.
+
+    For the canonical 4-VC router the protocol classes get disjoint VC
+    sets; for other VC counts the classes are spread modulo the VC count
+    (synthetic traffic always gets every VC).
+    """
+    if message_class == MessageClass.SYNTHETIC:
+        return tuple(range(vcs_per_port))
+    if vcs_per_port == 4:
+        return _VC_MAP_4[message_class]
+    return (message_class % vcs_per_port,)
+
+
+class VirtualChannel:
+    """One VC FIFO plus its wormhole allocation state.
+
+    ``out_port``/``out_vc`` record the output VC the packet at the front
+    of this buffer holds; wormhole switching keeps them allocated from
+    head to tail flit.
+    """
+
+    __slots__ = ("fifo", "out_port", "out_vc", "depth")
+
+    def __init__(self, depth: int) -> None:
+        self.fifo: deque[Flit] = deque()
+        self.depth = depth
+        self.out_port = -1
+        self.out_vc = -1
+
+    @property
+    def occupancy(self) -> int:
+        """Number of buffered flits."""
+        return len(self.fifo)
+
+    @property
+    def has_allocation(self) -> bool:
+        """Whether the packet at the front holds an output VC."""
+        return self.out_port >= 0
+
+    def release_allocation(self) -> None:
+        """Drop the output-VC allocation (after the tail flit departs)."""
+        self.out_port = -1
+        self.out_vc = -1
+
+
+class InputPort:
+    """All VCs of one router input port, with an occupancy counter.
+
+    ``occupancy`` (total flits across VCs) is maintained incrementally
+    because the BFM congestion metric reads it every cycle.
+    """
+
+    __slots__ = ("vcs", "occupancy")
+
+    def __init__(self, vcs_per_port: int, flits_per_vc: int) -> None:
+        self.vcs = [VirtualChannel(flits_per_vc) for _ in range(vcs_per_port)]
+        self.occupancy = 0
+
+    def push(self, vc: int, flit: Flit) -> None:
+        """Enqueue an arriving flit into virtual channel ``vc``."""
+        channel = self.vcs[vc]
+        if len(channel.fifo) >= channel.depth:
+            raise OverflowError("flit arrived at a full VC (credit bug)")
+        channel.fifo.append(flit)
+        self.occupancy += 1
+
+    def pop(self, vc: int) -> Flit:
+        """Dequeue the front flit of virtual channel ``vc``."""
+        flit = self.vcs[vc].fifo.popleft()
+        self.occupancy -= 1
+        return flit
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no VC holds any flit."""
+        return self.occupancy == 0

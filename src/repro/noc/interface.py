@@ -1,0 +1,255 @@
+"""Shared network interface (NI) of a node (paper §2.3, Figure 3).
+
+Four tiles share one NI.  The NI queues outbound packets; when a packet
+reaches the head of the queue the subnet-selection policy picks a
+subnet, the packet is segmented into flits no wider than the subnet
+datapath, and the flits stream into the local router of that subnet.
+Each subnet link carries at most one flit per cycle, but packets of
+different virtual channels may interleave on it (one streaming packet
+per VC), so a single-flit control packet is not blocked behind a long
+data packet of another message class.  All flits of a packet travel on
+the same subnet.
+
+The NI is also where two congestion metrics are measured (injection
+rate, injection-queue occupancy) and where sleeping local routers are
+woken before injection.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable
+
+from repro.noc.buffers import vc_candidates
+from repro.noc.config import NocConfig
+from repro.noc.flit import Flit, Packet
+from repro.noc.router import PowerState
+from repro.noc.topology import Port
+
+if TYPE_CHECKING:
+    from repro.core.gating import PowerGatingController
+    from repro.core.policies import SubnetSelectionPolicy
+    from repro.noc.network import SubnetNetwork
+    from repro.noc.routing import XYRouting
+
+__all__ = ["NetworkInterface"]
+
+
+class _StreamSlot:
+    """A packet mid-injection on one (subnet, VC) pair."""
+
+    __slots__ = ("packet", "flits", "index", "vc")
+
+    def __init__(self, packet: Packet, flits: list[Flit], vc: int) -> None:
+        self.packet = packet
+        self.flits = flits
+        self.index = 0
+        self.vc = vc
+
+
+class NetworkInterface:
+    """Injection/ejection endpoint shared by the tiles of one node."""
+
+    def __init__(
+        self,
+        node: int,
+        config: NocConfig,
+        subnets: "list[SubnetNetwork]",
+        routing: "XYRouting",
+    ) -> None:
+        self.node = node
+        self.config = config
+        self.subnets = subnets
+        self.routing = routing
+        self.queue: deque[Packet] = deque()
+        vcs = config.vcs_per_port
+        # _slots[subnet][vc]: packet streaming on that VC (or None).
+        self._slots: list[list[_StreamSlot | None]] = [
+            [None] * vcs for _ in range(config.num_subnets)
+        ]
+        self._active_slots = 0
+        self._credits = [
+            [config.flits_per_vc] * vcs for _ in range(config.num_subnets)
+        ]
+        self._stream_rr = [0] * config.num_subnets
+        for subnet, network in enumerate(subnets):
+            network.routers[node].credit_sinks[Port.LOCAL] = (
+                self._make_credit_sink(subnet)
+            )
+        self.policy: "SubnetSelectionPolicy | None" = None
+        self.gating: "PowerGatingController | None" = None
+        #: callable(packet, cycle) invoked when a packet fully arrives.
+        self.packet_sink: Callable[[Packet, int], None] | None = None
+        self._queue_flits = 0
+        self._ir_alpha = 1.0 / config.congestion.injection_rate_window
+        self._ir_rate = 0.0
+        self._ir_rate_subnet = [0.0] * config.num_subnets
+        self._assigned_this_cycle = 0
+        self._assigned_subnet = -1
+        #: Packets injected per subnet (Figure 12b utilization).
+        self.injected_per_subnet = [0] * config.num_subnets
+
+    def _make_credit_sink(self, subnet: int) -> Callable[[int], None]:
+        credits = self._credits[subnet]
+
+        def sink(vc: int) -> None:
+            credits[vc] += 1
+
+        return sink
+
+    # ------------------------------------------------------------------
+    # Source side
+    # ------------------------------------------------------------------
+    def offer(self, packet: Packet, cycle: int) -> None:
+        """Enqueue an outbound packet from a tile.
+
+        ``packet.num_flits`` is fixed here: the flit count depends only
+        on the (uniform) subnet width.
+        """
+        packet.created_cycle = cycle
+        packet.num_flits = self.config.flits_per_packet(packet.size_bits)
+        self.queue.append(packet)
+        self._queue_flits += packet.num_flits
+
+    def queue_occupancy_flits(self) -> int:
+        """Flits waiting at this NI (queued + unsent parts of streams)."""
+        return self._queue_flits
+
+    @property
+    def queue_depth_packets(self) -> int:
+        """Packets waiting in the NI queue (excludes streaming slots)."""
+        return len(self.queue)
+
+    def injection_rate(self) -> float:
+        """Windowed average injection rate in packets/cycle (IR metric)."""
+        return self._ir_rate
+
+    def subnet_injection_rate(self, subnet: int) -> float:
+        """Windowed injection rate of this node into one subnet.
+
+        This is the signal the IR congestion metric thresholds: a
+        subnet reads congested at this node once the node pushes more
+        than the threshold rate into it.
+        """
+        return self._ir_rate_subnet[subnet]
+
+    # ------------------------------------------------------------------
+    # Per-cycle evaluation
+    # ------------------------------------------------------------------
+    def step(self, cycle: int) -> None:
+        """Assign the head packet to a subnet and stream all subnets."""
+        if not self.queue and not self._active_slots:
+            # Fast path for idle NIs: only the injection-rate averages
+            # need decaying, and only while they are still meaningful.
+            if self._ir_rate > 1e-9:
+                alpha = self._ir_alpha
+                self._ir_rate -= alpha * self._ir_rate
+                rates = self._ir_rate_subnet
+                for subnet in range(len(rates)):
+                    rates[subnet] -= alpha * rates[subnet]
+            return
+        sent = 0
+        if self._active_slots:
+            for subnet in range(len(self._slots)):
+                if self._stream_subnet(subnet, cycle):
+                    sent |= 1 << subnet
+        # Assign after streaming so a VC whose tail left this cycle can
+        # take the next packet back-to-back — but never two flits into
+        # the same subnet in one cycle.
+        fresh = self._assign_head(cycle)
+        if fresh >= 0 and not sent & (1 << fresh):
+            self._stream_subnet(fresh, cycle)
+        alpha = self._ir_alpha
+        self._ir_rate += alpha * (self._assigned_this_cycle - self._ir_rate)
+        rates = self._ir_rate_subnet
+        assigned = self._assigned_subnet
+        for subnet in range(len(rates)):
+            hit = 1.0 if subnet == assigned else 0.0
+            rates[subnet] += alpha * (hit - rates[subnet])
+        self._assigned_this_cycle = 0
+        self._assigned_subnet = -1
+
+    def _assign_head(self, cycle: int) -> int:
+        """Assign the head packet to a subnet; return it (or -1)."""
+        if not self.queue:
+            return -1
+        assert self.policy is not None, "NI has no selection policy"
+        packet = self.queue[0]
+        subnet = self.policy.select(self.node, cycle, packet)
+        slots = self._slots[subnet]
+        vc = -1
+        for candidate in vc_candidates(
+            packet.message_class, self.config.vcs_per_port
+        ):
+            if slots[candidate] is None:
+                vc = candidate
+                break
+        if vc < 0:
+            return -1
+        self.queue.popleft()
+        packet.subnet = subnet
+        last = packet.num_flits - 1
+        flits = [
+            Flit(packet, i == 0, i == last, i)
+            for i in range(packet.num_flits)
+        ]
+        slots[vc] = _StreamSlot(packet, flits, vc)
+        self._active_slots += 1
+        self._assigned_this_cycle += 1
+        self._assigned_subnet = subnet
+        self.injected_per_subnet[subnet] += 1
+        return subnet
+
+    def _stream_subnet(self, subnet: int, cycle: int) -> bool:
+        """Send at most one flit into ``subnet``; True when one left.
+
+        Active VC slots share the NI-to-router link round-robin.
+        """
+        slots = self._slots[subnet]
+        vcs = len(slots)
+        network = self.subnets[subnet]
+        router = network.routers[self.node]
+        router_asleep = router.power_state != PowerState.ACTIVE
+        woke = False
+        start = self._stream_rr[subnet]
+        credits = self._credits[subnet]
+        for k in range(vcs):
+            vc = (k + start) % vcs
+            slot = slots[vc]
+            if slot is None:
+                continue
+            if router_asleep:
+                if not woke and self.gating is not None:
+                    self.gating.request_wakeup(router)
+                    woke = True
+                continue
+            if credits[vc] <= 0:
+                continue
+            flit = slot.flits[slot.index]
+            credits[vc] -= 1
+            flit.vc = vc
+            flit.route = self.routing.output_port(
+                self.node, flit.packet.dst
+            )
+            if flit.is_head:
+                slot.packet.injected_cycle = cycle
+            network.inject(flit, self.node, vc, cycle)
+            self._queue_flits -= 1
+            slot.index += 1
+            if flit.is_tail:
+                slots[vc] = None
+                self._active_slots -= 1
+            self._stream_rr[subnet] = (vc + 1) % vcs
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Sink side
+    # ------------------------------------------------------------------
+    def receive_flit(self, flit: Flit, subnet: int, cycle: int) -> None:
+        """Accept an ejected flit; complete the packet on its tail."""
+        if flit.is_tail:
+            packet = flit.packet
+            packet.received_cycle = cycle
+            if self.packet_sink is not None:
+                self.packet_sink(packet, cycle)

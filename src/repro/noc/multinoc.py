@@ -1,0 +1,237 @@
+"""The Multi-NoC fabric: subnets, NIs, policies, gating — one object.
+
+``MultiNocFabric`` wires together everything a configuration implies:
+per-subnet router networks, the shared NIs, the congestion monitor, the
+subnet-selection policy, and the power-gating controller.  A Single-NoC
+is simply the one-subnet special case.
+
+The fabric exposes a tile-level :meth:`offer` for producers (traffic
+generators or the processor model), a :meth:`step` to advance one clock
+cycle, and a :meth:`report` that snapshots everything the power model
+and experiment drivers need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.gating import GatingStats, PowerGatingController
+from repro.core.monitor import CongestionMonitor
+from repro.core.policies import make_policy
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet
+from repro.noc.interface import NetworkInterface
+from repro.noc.network import SubnetNetwork
+from repro.noc.routing import XYRouting
+from repro.noc.stats import NetworkStats
+from repro.noc.topology import ConcentratedMesh
+from repro.util.rng import DeterministicRng
+
+__all__ = ["MultiNocFabric", "FabricReport"]
+
+
+@dataclass
+class FabricReport:
+    """Snapshot of a finished (or running) fabric simulation.
+
+    The power model consumes only this record, never live objects, so
+    reports can be stored, compared, and serialized by experiments.
+    """
+
+    config: NocConfig
+    cycles: int
+    activity: list[dict[str, int]]
+    gating: list[GatingStats]
+    gating_policy: str
+    rcs_transitions: int
+    avg_packet_latency: float
+    avg_network_latency: float
+    throughput_packets: float
+    throughput_flits: float
+    offered_rate: float
+    packets_received: int
+    subnet_injection_share: list[float]
+
+    @property
+    def csc_fraction(self) -> float:
+        """Compensated sleep cycles over all router-cycles."""
+        total = GatingStats()
+        for stats in self.gating:
+            total = total.merge(stats)
+        return total.csc_fraction()
+
+
+class MultiNocFabric:
+    """A complete multiple network-on-chip instance."""
+
+    def __init__(self, config: NocConfig, seed: int = 1) -> None:
+        self.config = config
+        self.mesh = ConcentratedMesh(
+            config.mesh_cols, config.mesh_rows, config.tiles_per_node
+        )
+        self.routing = XYRouting(self.mesh)
+        self.rng = DeterministicRng(seed, "fabric")
+        self.subnets = [
+            SubnetNetwork(subnet, config, self.mesh, self.routing)
+            for subnet in range(config.num_subnets)
+        ]
+        self.nis = [
+            NetworkInterface(node, config, self.subnets, self.routing)
+            for node in range(self.mesh.num_nodes)
+        ]
+        self.monitor = CongestionMonitor(config, self.mesh)
+        policy_name = config.selection_policy
+        self.gating = PowerGatingController(
+            config, self.subnets, self.monitor
+        )
+        self.stats = NetworkStats(self.mesh.num_nodes)
+        self.cycle = 0
+        #: Extra per-packet completion callback (used by the processor
+        #: model to unblock cores).
+        self.packet_sink: Callable[[Packet, int], None] | None = None
+        for ni in self.nis:
+            ni.policy = make_policy(
+                policy_name,
+                config.num_subnets,
+                self.mesh.num_nodes,
+                self.monitor,
+                self.rng,
+            )
+            ni.gating = self.gating
+            ni.packet_sink = self._on_packet_received
+        for network in self.subnets:
+            network.eject_sink = self._eject_to_ni
+        if self.monitor.needs_blocking_counters:
+            for network in self.subnets:
+                for router in network.routers:
+                    router.track_blocking = True
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+    def _eject_to_ni(self, flit, subnet: int, node: int, cycle: int) -> None:
+        self.nis[node].receive_flit(flit, subnet, cycle)
+
+    def _on_packet_received(self, packet: Packet, cycle: int) -> None:
+        self.stats.record_received(packet, cycle)
+        if self.packet_sink is not None:
+            self.packet_sink(packet, cycle)
+
+    # ------------------------------------------------------------------
+    # Producer API
+    # ------------------------------------------------------------------
+    def offer(self, packet: Packet) -> None:
+        """Hand an outbound packet to the source node's NI."""
+        self.nis[packet.src].offer(packet, self.cycle)
+        self.stats.record_offered(packet, self.cycle)
+
+    def offer_from_tile(
+        self,
+        src_tile: int,
+        dst_tile: int,
+        size_bits: int,
+        message_class: int,
+        payload: object = None,
+    ) -> Packet:
+        """Create and offer a packet between two processor tiles."""
+        packet = Packet(
+            src=self.mesh.tile_node(src_tile),
+            dst=self.mesh.tile_node(dst_tile),
+            size_bits=size_bits,
+            message_class=message_class,
+            payload=payload,
+        )
+        self.offer(packet)
+        return packet
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the whole fabric by one router clock cycle."""
+        cycle = self.cycle
+        subnets = self.subnets
+        for network in subnets:
+            network.deliver_arrivals(cycle)
+        self.monitor.update(cycle, subnets, self.nis)
+        for ni in self.nis:
+            ni.step(cycle)
+        for network in subnets:
+            network.step_routers(cycle)
+        self.gating.step(cycle)
+        self.cycle = cycle + 1
+
+    def run(self, cycles: int) -> None:
+        """Advance the fabric by ``cycles`` clock cycles."""
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def in_flight_flits(self) -> int:
+        """Flits currently anywhere in the fabric."""
+        return sum(network.flits_in_network for network in self.subnets)
+
+    def drain(self, max_cycles: int = 100_000) -> bool:
+        """Run until every flit has been delivered (or the cap is hit).
+
+        Returns True when the fabric fully drained.  Sources must stop
+        offering packets before draining.
+        """
+        for _ in range(max_cycles):
+            if self.in_flight_flits == 0 and all(
+                not ni.queue and not ni._active_slots for ni in self.nis
+            ):
+                return True
+            self.step()
+        return False
+
+    def subnet_injection_share(self) -> list[float]:
+        """Fraction of injected packets carried by each subnet."""
+        totals = [0] * self.config.num_subnets
+        for ni in self.nis:
+            for subnet, count in enumerate(ni.injected_per_subnet):
+                totals[subnet] += count
+        grand = sum(totals)
+        if not grand:
+            return [0.0] * self.config.num_subnets
+        return [count / grand for count in totals]
+
+    def report(self) -> FabricReport:
+        """Snapshot statistics for power modelling and experiments."""
+        self.gating.finalize(self.cycle)
+        return FabricReport(
+            config=self.config,
+            cycles=self.cycle,
+            activity=[
+                network.counters.snapshot() for network in self.subnets
+            ],
+            gating=list(self.gating.stats),
+            gating_policy=self.gating.policy,
+            rcs_transitions=self.monitor.regional.transitions,
+            avg_packet_latency=self.stats.average_packet_latency(),
+            avg_network_latency=self.stats.average_network_latency(),
+            throughput_packets=(
+                self.stats.throughput_packets()
+                if self.stats.measure_start is not None
+                and self.stats.measure_end is not None
+                else 0.0
+            ),
+            throughput_flits=(
+                self.stats.throughput_flits()
+                if self.stats.measure_start is not None
+                and self.stats.measure_end is not None
+                else 0.0
+            ),
+            offered_rate=(
+                self.stats.offered_rate()
+                if self.stats.measure_start is not None
+                and self.stats.measure_end is not None
+                else 0.0
+            ),
+            packets_received=self.stats.packets_received,
+            subnet_injection_share=self.subnet_injection_share(),
+        )

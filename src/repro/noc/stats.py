@@ -1,0 +1,116 @@
+"""Latency and throughput statistics with warmup/measure windows.
+
+Open-loop synthetic experiments follow the standard methodology: warm
+the network up, measure over a fixed window, and report (a) the average
+packet latency of packets *created* inside the window and (b) the
+accepted throughput as packets (and flits) ejected per node per cycle
+inside the window.
+"""
+
+from __future__ import annotations
+
+from repro.noc.flit import Packet
+
+__all__ = ["NetworkStats"]
+
+
+class NetworkStats:
+    """Accumulates packet-level statistics for one fabric."""
+
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = num_nodes
+        self.measure_start: int | None = None
+        self.measure_end: int | None = None
+        # Whole-run counters.
+        self.packets_offered = 0
+        self.packets_received = 0
+        self.flits_received = 0
+        # Measurement-window counters.
+        self.window_offered = 0
+        self.window_received = 0
+        self.window_flits_received = 0
+        self.window_latency_sum = 0
+        self.window_network_latency_sum = 0
+        self.window_latency_samples = 0
+
+    # ------------------------------------------------------------------
+    # Window control
+    # ------------------------------------------------------------------
+    def begin_measurement(self, cycle: int) -> None:
+        """Start the measurement window at ``cycle``."""
+        self.measure_start = cycle
+
+    def end_measurement(self, cycle: int) -> None:
+        """Close the measurement window at ``cycle``."""
+        self.measure_end = cycle
+
+    def _in_window(self, cycle: int) -> bool:
+        if self.measure_start is None or cycle < self.measure_start:
+            return False
+        return self.measure_end is None or cycle < self.measure_end
+
+    @property
+    def window_cycles(self) -> int:
+        """Length of the (closed) measurement window."""
+        if self.measure_start is None or self.measure_end is None:
+            raise ValueError("measurement window is not closed")
+        return self.measure_end - self.measure_start
+
+    # ------------------------------------------------------------------
+    # Event recording
+    # ------------------------------------------------------------------
+    def record_offered(self, packet: Packet, cycle: int) -> None:
+        """A packet was handed to an NI."""
+        self.packets_offered += 1
+        if self._in_window(cycle):
+            self.window_offered += 1
+
+    def record_received(self, packet: Packet, cycle: int) -> None:
+        """A packet's tail flit was ejected at its destination."""
+        self.packets_received += 1
+        self.flits_received += packet.num_flits
+        if self._in_window(cycle):
+            self.window_received += 1
+            self.window_flits_received += packet.num_flits
+        if self._in_window(packet.created_cycle):
+            self.window_latency_sum += packet.latency
+            self.window_network_latency_sum += packet.network_latency
+            self.window_latency_samples += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    def average_packet_latency(self) -> float:
+        """Mean created-to-received latency over window packets."""
+        if not self.window_latency_samples:
+            return 0.0
+        return self.window_latency_sum / self.window_latency_samples
+
+    def average_network_latency(self) -> float:
+        """Mean injected-to-received latency over window packets."""
+        if not self.window_latency_samples:
+            return 0.0
+        return (
+            self.window_network_latency_sum / self.window_latency_samples
+        )
+
+    def throughput_packets(self) -> float:
+        """Accepted packets per node per cycle during the window."""
+        cycles = self.window_cycles
+        if not cycles:
+            return 0.0
+        return self.window_received / (self.num_nodes * cycles)
+
+    def throughput_flits(self) -> float:
+        """Accepted flits per node per cycle during the window."""
+        cycles = self.window_cycles
+        if not cycles:
+            return 0.0
+        return self.window_flits_received / (self.num_nodes * cycles)
+
+    def offered_rate(self) -> float:
+        """Offered packets per node per cycle during the window."""
+        cycles = self.window_cycles
+        if not cycles:
+            return 0.0
+        return self.window_offered / (self.num_nodes * cycles)

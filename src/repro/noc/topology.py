@@ -1,0 +1,150 @@
+"""Concentrated mesh topology.
+
+Nodes are router positions on a ``cols x rows`` grid, numbered row-major
+(node ``= y * cols + x``).  Each node concentrates ``tiles_per_node``
+processor tiles behind one shared network interface (paper Figure 1).
+
+The grid is partitioned into quadrant *regions* for the regional
+congestion-status OR network: the paper splits the 8x8 mesh into four
+4x4 regions; we generalize to the four quadrants of any even-sided mesh.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+__all__ = ["Port", "ConcentratedMesh"]
+
+
+class Port:
+    """Router port indices; LOCAL connects to the network interface."""
+
+    LOCAL = 0
+    EAST = 1
+    WEST = 2
+    NORTH = 3
+    SOUTH = 4
+
+    COUNT = 5
+    NAMES = ("local", "east", "west", "north", "south")
+
+    #: Port on the neighbouring router that a given output port feeds
+    #: into (east output arrives on the neighbour's west input, etc.).
+    OPPOSITE = {EAST: WEST, WEST: EAST, NORTH: SOUTH, SOUTH: NORTH}
+
+
+@dataclass(frozen=True)
+class ConcentratedMesh:
+    """Geometry, neighbours, and regions of a concentrated mesh."""
+
+    cols: int
+    rows: int
+    tiles_per_node: int = 4
+
+    def __post_init__(self) -> None:
+        check_positive("cols", self.cols)
+        check_positive("rows", self.rows)
+        check_positive("tiles_per_node", self.tiles_per_node)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        """Number of routers in one subnet."""
+        return self.cols * self.rows
+
+    @property
+    def num_tiles(self) -> int:
+        """Number of processor tiles attached to the mesh."""
+        return self.num_nodes * self.tiles_per_node
+
+    def coordinates(self, node: int) -> tuple[int, int]:
+        """Return ``(x, y)`` grid coordinates of ``node``."""
+        self._check_node(node)
+        return node % self.cols, node // self.cols
+
+    def node_at(self, x: int, y: int) -> int:
+        """Return the node id at grid position ``(x, y)``."""
+        if not (0 <= x < self.cols and 0 <= y < self.rows):
+            raise ValueError(f"({x}, {y}) outside {self.cols}x{self.rows}")
+        return y * self.cols + x
+
+    def tile_node(self, tile: int) -> int:
+        """Node (router position) serving processor tile ``tile``."""
+        if not 0 <= tile < self.num_tiles:
+            raise ValueError(f"tile {tile} out of range")
+        return tile // self.tiles_per_node
+
+    def hop_distance(self, src: int, dst: int) -> int:
+        """Manhattan hop count between two nodes."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    # ------------------------------------------------------------------
+    # Connectivity
+    # ------------------------------------------------------------------
+    def neighbor(self, node: int, port: int) -> int | None:
+        """Node reached from ``node`` through output ``port``.
+
+        Returns ``None`` for the LOCAL port or when the port faces the
+        mesh edge.
+        """
+        x, y = self.coordinates(node)
+        if port == Port.EAST and x + 1 < self.cols:
+            return node + 1
+        if port == Port.WEST and x > 0:
+            return node - 1
+        if port == Port.NORTH and y > 0:
+            return node - self.cols
+        if port == Port.SOUTH and y + 1 < self.rows:
+            return node + self.cols
+        return None
+
+    def neighbors(self, node: int) -> dict[int, int]:
+        """Mapping of output port -> neighbour node for ``node``."""
+        result = {}
+        for port in (Port.EAST, Port.WEST, Port.NORTH, Port.SOUTH):
+            other = self.neighbor(node, port)
+            if other is not None:
+                result[port] = other
+        return result
+
+    # ------------------------------------------------------------------
+    # Regions (for the 1-bit OR network)
+    # ------------------------------------------------------------------
+    @property
+    def num_regions(self) -> int:
+        """Number of congestion-aggregation regions (quadrants)."""
+        return (2 if self.cols > 1 else 1) * (2 if self.rows > 1 else 1)
+
+    def region_of(self, node: int) -> int:
+        """Quadrant region index of ``node``.
+
+        Regions are numbered 0..3 as (west/east) x (north/south)
+        quadrants; degenerate meshes collapse to fewer regions.
+        """
+        x, y = self.coordinates(node)
+        col_half = x >= (self.cols + 1) // 2
+        row_half = y >= (self.rows + 1) // 2
+        cols_split = self.cols > 1
+        if not cols_split:
+            return int(row_half)
+        return int(row_half) * 2 + int(col_half)
+
+    def region_nodes(self, region: int) -> list[int]:
+        """All nodes belonging to ``region``."""
+        if not 0 <= region < self.num_regions:
+            raise ValueError(f"region {region} out of range")
+        return [
+            node
+            for node in range(self.num_nodes)
+            if self.region_of(node) == region
+        ]
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.num_nodes:
+            raise ValueError(f"node {node} out of range")

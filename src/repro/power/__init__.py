@@ -1,0 +1,29 @@
+"""Orion-2-style network power model and 32 nm technology constants."""
+
+from repro.power.network_power import (
+    COMPONENT_NAMES,
+    ComponentPower,
+    NetworkPowerBreakdown,
+    compute_network_power,
+    power_at_port_load,
+)
+from repro.power.router_power import RouterPowerModel
+from repro.power.technology import (
+    max_frequency_ghz,
+    min_voltage_for,
+    table2_rows,
+    VoltageFrequencyPoint,
+)
+
+__all__ = [
+    "COMPONENT_NAMES",
+    "ComponentPower",
+    "NetworkPowerBreakdown",
+    "compute_network_power",
+    "power_at_port_load",
+    "RouterPowerModel",
+    "max_frequency_ghz",
+    "min_voltage_for",
+    "table2_rows",
+    "VoltageFrequencyPoint",
+]

@@ -1,0 +1,206 @@
+"""Network-level power aggregation.
+
+Turns a :class:`~repro.noc.multinoc.FabricReport` (activity counters +
+gating residency) into watts, per component and split into dynamic and
+static parts.  Power gating reduces static power through the sleep
+residency recorded by the gating controller; every sleep period is
+charged ``T-breakeven`` cycles worth of leakage for the sleep-transistor
+switching and decap recharge (paper §4.3), so short periods *cost*
+energy exactly as the paper describes.
+
+``power_at_port_load`` evaluates the model analytically at a fixed
+per-port load factor — the methodology behind Figure 7, which assumes a
+load factor of 0.5 rather than a simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.regional import OR_NETWORK_SWITCH_ENERGY_J
+from repro.noc.config import NocConfig
+from repro.noc.multinoc import FabricReport
+from repro.power.router_power import RouterPowerModel
+
+__all__ = [
+    "ComponentPower",
+    "NetworkPowerBreakdown",
+    "compute_network_power",
+    "power_at_port_load",
+    "COMPONENT_NAMES",
+]
+
+COMPONENT_NAMES = ("buffer", "crossbar", "control", "clock", "link", "ni")
+
+
+@dataclass
+class ComponentPower:
+    """Dynamic + static watts of one network component class."""
+
+    dynamic_watts: float = 0.0
+    static_watts: float = 0.0
+
+    @property
+    def total_watts(self) -> float:
+        """Dynamic plus static power."""
+        return self.dynamic_watts + self.static_watts
+
+
+@dataclass
+class NetworkPowerBreakdown:
+    """Full power picture of one fabric configuration."""
+
+    config_name: str
+    components: dict[str, ComponentPower] = field(default_factory=dict)
+    csc_fraction: float = 0.0
+
+    @property
+    def dynamic_watts(self) -> float:
+        """Total dynamic network power."""
+        return sum(c.dynamic_watts for c in self.components.values())
+
+    @property
+    def static_watts(self) -> float:
+        """Total static (leakage) network power after gating."""
+        return sum(c.static_watts for c in self.components.values())
+
+    @property
+    def total_watts(self) -> float:
+        """Total network power."""
+        return self.dynamic_watts + self.static_watts
+
+    def as_row(self) -> dict[str, float | str]:
+        """Flat record for table rendering."""
+        row: dict[str, float | str] = {"config": self.config_name}
+        for name, component in self.components.items():
+            row[name] = component.total_watts
+        row["dynamic"] = self.dynamic_watts
+        row["static"] = self.static_watts
+        row["total"] = self.total_watts
+        return row
+
+
+def compute_network_power(report: FabricReport) -> NetworkPowerBreakdown:
+    """Evaluate the power model over a finished fabric report."""
+    config = report.config
+    cycles = report.cycles
+    if cycles <= 0:
+        raise ValueError("report covers zero cycles")
+    frequency_hz = config.frequency_ghz * 1e9
+    seconds = cycles / frequency_hz
+    breakdown = NetworkPowerBreakdown(config_name=config.name)
+    components = {name: ComponentPower() for name in COMPONENT_NAMES}
+    breakdown.components = components
+    model = RouterPowerModel(
+        config.link_width_bits, config.voltage_v, config.num_subnets
+    )
+    breakeven = config.gating.breakeven_cycles
+    for subnet in range(config.num_subnets):
+        activity = report.activity[subnet]
+        gating = report.gating[subnet]
+        flit_hops = (
+            activity["buffer_writes"] + activity["buffer_reads"]
+        ) / 2.0
+        components["buffer"].dynamic_watts += (
+            flit_hops * model.buffer_energy_per_flit / seconds
+        )
+        components["crossbar"].dynamic_watts += (
+            activity["crossbar_traversals"]
+            * model.crossbar_energy_per_flit
+            / seconds
+        )
+        components["link"].dynamic_watts += (
+            activity["link_traversals"]
+            * model.link_energy_per_flit
+            / seconds
+        )
+        components["control"].dynamic_watts += (
+            activity["crossbar_traversals"]
+            * model.control_energy_per_flit
+            / seconds
+        )
+        components["ni"].dynamic_watts += (
+            (activity["flits_injected"] + activity["flits_ejected"])
+            * model.ni_energy_per_flit
+            / seconds
+        )
+        powered_cycles = gating.active_cycles + gating.wakeup_cycles
+        components["clock"].dynamic_watts += (
+            powered_cycles * model.clock_energy_per_cycle / seconds
+        )
+        # Leakage: sleeping routers leak nothing, but each sleep period
+        # pays T-breakeven cycles of leakage-equivalent switching energy.
+        total_router_cycles = gating.total_cycles
+        leak_cycles = (
+            total_router_cycles
+            - gating.sleep_cycles
+            + breakeven * gating.sleep_periods
+        )
+        static_watts = model.leakage_watts * leak_cycles / cycles
+        for name in model.leakage_components():
+            components[name].static_watts += (
+                static_watts
+                * model.leakage_share(name)
+                / model.leakage_watts
+            )
+    # Regional congestion OR network (Catnap's only added hardware).
+    components["control"].dynamic_watts += (
+        report.rcs_transitions * OR_NETWORK_SWITCH_ENERGY_J / seconds
+    )
+    breakdown.csc_fraction = report.csc_fraction
+    return breakdown
+
+
+def power_at_port_load(
+    config: NocConfig, port_load: float = 0.5
+) -> NetworkPowerBreakdown:
+    """Analytic power at a fixed per-port load factor (Figure 7).
+
+    Every router input port is assumed to carry ``port_load``
+    flits/cycle; no power gating is applied (Figure 7 characterizes the
+    designs before gating).
+    """
+    if not 0.0 <= port_load <= 1.0:
+        raise ValueError("port_load must be within [0, 1]")
+    from repro.core.gating import GatingStats  # cycle-free import
+
+    cycles = 1_000_000
+    num_routers = config.num_nodes
+    # Per router per cycle: 5 ports x port_load arrivals; each arrival
+    # is one buffer write+read and one crossbar traversal.  Departures
+    # through the four mesh ports use links (the local port ejects to
+    # the NI); injections and ejections each run at port_load per node.
+    flit_events = round(5 * port_load * num_routers * cycles)
+    link_events = round(4 * port_load * num_routers * cycles)
+    ni_events = round(2 * port_load * num_routers * cycles)
+    activity = {
+        "buffer_writes": flit_events,
+        "buffer_reads": flit_events,
+        "crossbar_traversals": flit_events,
+        "link_traversals": link_events,
+        "flits_injected": ni_events // 2,
+        "flits_ejected": ni_events // 2,
+        "packets_injected": 0,
+        "packets_ejected": 0,
+        "flit_cycles": 0,
+    }
+    gating = GatingStats(active_cycles=num_routers * cycles)
+    report = FabricReport(
+        config=config,
+        cycles=cycles,
+        activity=[dict(activity) for _ in range(config.num_subnets)],
+        gating=[
+            GatingStats(active_cycles=gating.active_cycles)
+            for _ in range(config.num_subnets)
+        ],
+        gating_policy="none",
+        rcs_transitions=0,
+        avg_packet_latency=0.0,
+        avg_network_latency=0.0,
+        throughput_packets=0.0,
+        throughput_flits=0.0,
+        offered_rate=0.0,
+        packets_received=0,
+        subnet_injection_share=[],
+    )
+    return compute_network_power(report)

@@ -1,0 +1,178 @@
+"""Per-component router energy model (Orion-2 style, paper §4.2).
+
+Dynamic energy is modelled per event (flit buffer write/read, crossbar
+traversal, link traversal, NI flit, control operation) plus a per-cycle
+clock term; leakage is a per-router power including the router's share
+of links and NI.  Every component scales with datapath width ``W`` by a
+component-specific exponent and with supply voltage as ``V**2``
+(dynamic) or ``V`` (leakage).
+
+Calibration — the constants below are fitted so the model reproduces
+the paper's reported absolutes:
+
+* Static power of the whole network is ~25 W both for 1NT-512b @ 0.750 V
+  and 4NT-128b @ 0.625 V (Fig. 8: "static power for Single-NoC and
+  Multi-NoC is about the same (25 W)").  Solving
+  ``64*(A + 512*B)*0.75 = 25`` and ``256*(A + 128*B)*0.625 = 25`` gives
+  ``A = 0.0348 W/V`` and ``B = 9.494e-4 W/(bit*V)``.
+* At a per-port load factor of 0.5 (Fig. 7's operating point), dynamic
+  power of 1NT-512b @ 0.750 V is ~45 W, split ~12 W buffers, ~16 W
+  crossbar, ~6 W clock, ~1 W control, ~8 W links, ~1.5 W NI — matching
+  Fig. 7's stack shape.  With 3.2e11 flit-hops/s at that point, the
+  per-event reference energies below follow directly.
+* The crossbar exponent 1.8 makes one 512-bit crossbar cost ~3x the
+  power of four 128-bit crossbars (paper §5.2: super-linear crossbar
+  scaling); the clock exponent 1.3 gives the reported super-linear
+  clock-tree savings; links pay a 4 % crossover penalty per extra
+  subnet (paper: +12 % for four subnets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_positive
+
+__all__ = ["RouterPowerModel", "LEAKAGE_A_W_PER_V", "LEAKAGE_B_W_PER_BIT_V"]
+
+#: Reference operating point for the per-event energies below.
+_REF_WIDTH_BITS = 512
+_REF_VOLTAGE_V = 0.750
+
+#: Reference dynamic energies (joules per event) at 512 bits, 0.750 V.
+_E_BUFFER_FLIT = 37.5e-12  # write + read, per flit-hop
+_E_CROSSBAR_FLIT = 50.0e-12
+_E_LINK_FLIT = 25.0e-12
+_E_CONTROL_FLIT = 3.0e-12
+_E_NI_FLIT = 11.7e-12
+_E_CLOCK_CYCLE = 46.9e-12  # per active router per cycle
+
+#: Width-scaling exponents per component.
+_GAMMA_BUFFER = 1.0
+_GAMMA_CROSSBAR = 1.8
+_GAMMA_LINK = 1.0
+_GAMMA_CONTROL = 0.0
+_GAMMA_NI = 1.0
+_GAMMA_CLOCK = 1.3
+
+#: Link-length penalty for routing multiple subnets' links across a
+#: node (paper §5.2 layout analysis: +12 % for four subnets).
+_LINK_CROSSOVER_PENALTY_PER_SUBNET = 0.04
+
+#: Leakage fit (see module docstring): P = (A + B*W) * V per router.
+LEAKAGE_A_W_PER_V = 0.0348
+LEAKAGE_B_W_PER_BIT_V = 9.494e-4
+
+#: How leakage is attributed to components in breakdowns.
+_LEAKAGE_SHARES = {
+    "buffer": 0.40,
+    "crossbar": 0.25,
+    "link": 0.15,
+    "clock": 0.08,
+    "control": 0.07,
+    "ni": 0.05,
+}
+
+
+def _scale(reference: float, width_bits: int, gamma: float) -> float:
+    return reference * (width_bits / _REF_WIDTH_BITS) ** gamma
+
+
+@dataclass(frozen=True)
+class RouterPowerModel:
+    """Energy/power figures for one router of a given subnet design.
+
+    Parameters
+    ----------
+    width_bits:
+        Datapath width of the subnet this router belongs to.
+    voltage_v:
+        Supply voltage of the subnet.
+    num_subnets:
+        Total subnets in the fabric (affects the link crossover
+        penalty only).
+    """
+
+    width_bits: int
+    voltage_v: float
+    num_subnets: int = 1
+
+    def __post_init__(self) -> None:
+        check_positive("width_bits", self.width_bits)
+        check_positive("voltage_v", self.voltage_v)
+        check_positive("num_subnets", self.num_subnets)
+
+    # ------------------------------------------------------------------
+    # Dynamic energies (joules per event)
+    # ------------------------------------------------------------------
+    @property
+    def _v_scale(self) -> float:
+        return (self.voltage_v / _REF_VOLTAGE_V) ** 2
+
+    @property
+    def buffer_energy_per_flit(self) -> float:
+        """Register-FIFO write + read energy for one flit."""
+        return (
+            _scale(_E_BUFFER_FLIT, self.width_bits, _GAMMA_BUFFER)
+            * self._v_scale
+        )
+
+    @property
+    def crossbar_energy_per_flit(self) -> float:
+        """Matrix-crossbar traversal energy for one flit."""
+        return (
+            _scale(_E_CROSSBAR_FLIT, self.width_bits, _GAMMA_CROSSBAR)
+            * self._v_scale
+        )
+
+    @property
+    def link_energy_per_flit(self) -> float:
+        """Inter-router link traversal energy for one flit."""
+        penalty = 1.0 + _LINK_CROSSOVER_PENALTY_PER_SUBNET * (
+            self.num_subnets - 1
+        )
+        return (
+            _scale(_E_LINK_FLIT, self.width_bits, _GAMMA_LINK)
+            * penalty
+            * self._v_scale
+        )
+
+    @property
+    def control_energy_per_flit(self) -> float:
+        """Routing/arbitration control energy for one flit."""
+        return (
+            _scale(_E_CONTROL_FLIT, self.width_bits, _GAMMA_CONTROL)
+            * self._v_scale
+        )
+
+    @property
+    def ni_energy_per_flit(self) -> float:
+        """Network-interface energy per injected or ejected flit."""
+        return _scale(_E_NI_FLIT, self.width_bits, _GAMMA_NI) * self._v_scale
+
+    @property
+    def clock_energy_per_cycle(self) -> float:
+        """Clock-tree energy per active router per cycle."""
+        return (
+            _scale(_E_CLOCK_CYCLE, self.width_bits, _GAMMA_CLOCK)
+            * self._v_scale
+        )
+
+    # ------------------------------------------------------------------
+    # Leakage
+    # ------------------------------------------------------------------
+    @property
+    def leakage_watts(self) -> float:
+        """Leakage power of one router plus its links/NI share."""
+        return (
+            LEAKAGE_A_W_PER_V + LEAKAGE_B_W_PER_BIT_V * self.width_bits
+        ) * self.voltage_v
+
+    def leakage_share(self, component: str) -> float:
+        """Leakage attributed to a named component, in watts."""
+        return self.leakage_watts * _LEAKAGE_SHARES[component]
+
+    @staticmethod
+    def leakage_components() -> tuple[str, ...]:
+        """Component names used in leakage attribution."""
+        return tuple(_LEAKAGE_SHARES)

@@ -1,0 +1,112 @@
+"""32 nm technology model: voltage-frequency scaling (paper Table 2).
+
+The paper synthesizes the arbitration + matrix-crossbar stages at 32 nm
+and finds the crossbar dominates the router critical path at widths of
+256 bits and beyond, so narrower routers reach the same frequency at a
+lower voltage.  We model the maximum frequency with an alpha-power-law
+delay model whose three constants are fitted to reproduce Table 2
+exactly:
+
+* ``f(W, V) = K * (V - V_TH)^ALPHA / V / (1 + W / WIDTH_DELAY_BITS)``
+* 512-bit router: 2.0 GHz @ 0.750 V, 1.4 GHz @ 0.625 V
+* 128-bit router: 2.9 GHz @ 0.750 V, 2.0 GHz @ 0.625 V
+
+Fit: ``ALPHA = 1.44`` makes the 0.625/0.750 frequency ratio 0.70 (the
+paper's 1.4/2.0 and 2.0/2.9); ``WIDTH_DELAY_BITS = 725`` makes the
+512b/128b frequency ratio 0.69 (2.0/2.9); ``K = 9.577`` anchors the
+absolute 2.9 GHz point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "TECH_NODE_NM",
+    "V_TH",
+    "ALPHA",
+    "WIDTH_DELAY_BITS",
+    "FREQUENCY_K",
+    "max_frequency_ghz",
+    "min_voltage_for",
+    "VoltageFrequencyPoint",
+    "table2_rows",
+]
+
+TECH_NODE_NM = 32
+V_TH = 0.35
+ALPHA = 1.44
+WIDTH_DELAY_BITS = 725.0
+FREQUENCY_K = 9.577
+
+#: Voltage search bounds for :func:`min_voltage_for`.
+_V_MIN, _V_MAX = 0.40, 1.20
+
+
+def max_frequency_ghz(width_bits: int, voltage_v: float) -> float:
+    """Maximum router frequency for a datapath width at a voltage."""
+    check_positive("width_bits", width_bits)
+    check_in_range("voltage_v", voltage_v, V_TH + 1e-6, 2.0)
+    headroom = voltage_v - V_TH
+    drive = FREQUENCY_K * headroom**ALPHA / voltage_v
+    return drive / (1.0 + width_bits / WIDTH_DELAY_BITS)
+
+
+def min_voltage_for(width_bits: int, frequency_ghz: float) -> float:
+    """Lowest supply voltage at which the router meets ``frequency_ghz``.
+
+    Solved by bisection on the monotone :func:`max_frequency_ghz`.
+    """
+    check_positive("frequency_ghz", frequency_ghz)
+    if max_frequency_ghz(width_bits, _V_MAX) < frequency_ghz:
+        raise ValueError(
+            f"{width_bits}-bit router cannot reach "
+            f"{frequency_ghz} GHz below {_V_MAX} V"
+        )
+    low, high = _V_MIN, _V_MAX
+    for _ in range(60):
+        mid = 0.5 * (low + high)
+        if max_frequency_ghz(width_bits, mid) >= frequency_ghz:
+            high = mid
+        else:
+            low = mid
+    return high
+
+
+@dataclass(frozen=True)
+class VoltageFrequencyPoint:
+    """One row of Table 2."""
+
+    design: str
+    router_width_bits: int
+    frequency_ghz: float
+    voltage_v: float
+    highlighted: bool
+
+
+def table2_rows() -> list[VoltageFrequencyPoint]:
+    """Regenerate Table 2 from the delay model.
+
+    Frequencies are computed at the paper's two voltage points; the
+    highlighted rows are the operating points used in the evaluation
+    (both designs at 2 GHz).
+    """
+    rows = []
+    for design, width in (("Single-NoC", 512), ("Multi-NoC", 128)):
+        for voltage in (0.750, 0.625):
+            freq = max_frequency_ghz(width, voltage)
+            highlighted = (width == 512 and voltage == 0.750) or (
+                width == 128 and voltage == 0.625
+            )
+            rows.append(
+                VoltageFrequencyPoint(
+                    design=design,
+                    router_width_bits=width,
+                    frequency_ghz=round(freq, 1),
+                    voltage_v=voltage,
+                    highlighted=highlighted,
+                )
+            )
+    return rows

@@ -1,0 +1,41 @@
+"""Closed-loop many-core processor substrate."""
+
+from repro.system.cache import TABLE1_CACHES, CacheConfig
+from repro.system.coherence import (
+    CoherenceEngine,
+    CoherenceParams,
+    Transaction,
+)
+from repro.system.core import CoreModel
+from repro.system.memory import (
+    MemoryController,
+    MemorySystem,
+    place_memory_controllers,
+)
+from repro.system.processor import Processor, SystemResult
+from repro.system.workloads import (
+    BENCHMARK_MPKI,
+    WORKLOAD_MIXES,
+    WORKLOAD_NAMES,
+    WorkloadSpec,
+    workload,
+)
+
+__all__ = [
+    "TABLE1_CACHES",
+    "CacheConfig",
+    "CoherenceEngine",
+    "CoherenceParams",
+    "Transaction",
+    "CoreModel",
+    "MemoryController",
+    "MemorySystem",
+    "place_memory_controllers",
+    "Processor",
+    "SystemResult",
+    "BENCHMARK_MPKI",
+    "WORKLOAD_MIXES",
+    "WORKLOAD_NAMES",
+    "WorkloadSpec",
+    "workload",
+]

@@ -1,0 +1,190 @@
+"""Event-driven processor core model.
+
+Each core retires ``issue_width`` instructions per cycle while running
+(Table 1: 2-wide fetch/issue/commit) and generates an L1 miss every
+~``1000 / MPKI`` instructions (geometric gaps).  Two
+mechanisms stall a core, modelling the paper's 64-entry, 2-wide cores:
+
+* **Window fill** — retirement is in-order, so once the *oldest*
+  outstanding miss is older than ``window_slack`` cycles (the time the
+  64-entry window takes to fill behind it at 2-wide issue), the core
+  stalls until that miss returns.  This is what makes performance
+  sensitive to network latency even at low miss rates.
+* **MLP limit** — at most ``mlp_limit`` misses overlap (MSHR/window
+  occupancy); issuing the limit-filling miss stalls the core.
+
+Cores are event-driven: misses and stall checks are scheduled by the
+processor, so simulation cost scales with misses, not cores x cycles.
+"""
+
+from __future__ import annotations
+
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_positive
+
+__all__ = ["CoreModel"]
+
+
+class CoreModel:
+    """One processor core parameterized by its benchmark's MPKI."""
+
+    __slots__ = (
+        "core_id",
+        "mpki",
+        "mlp_limit",
+        "window_slack",
+        "issue_width",
+        "outstanding",
+        "blocked_since",
+        "blocked_cycles",
+        "misses_issued",
+        "misses_completed",
+        "next_miss_cycle",
+        "_next_token",
+        "_mean_gap",
+        "_rng",
+    )
+
+    def __init__(
+        self,
+        core_id: int,
+        mpki: float,
+        mlp_limit: int = 16,
+        window_slack: int = 32,
+        issue_width: int = 2,
+        seed: int = 11,
+    ) -> None:
+        check_positive("mpki", mpki)
+        check_positive("mlp_limit", mlp_limit)
+        check_positive("window_slack", window_slack)
+        check_positive("issue_width", issue_width)
+        self.core_id = core_id
+        self.mpki = mpki
+        self.mlp_limit = mlp_limit
+        self.window_slack = window_slack
+        self.issue_width = issue_width
+        #: token -> issue cycle of each outstanding miss.
+        self.outstanding: dict[int, int] = {}
+        self.blocked_since = -1
+        self.blocked_cycles = 0
+        self.misses_issued = 0
+        self.misses_completed = 0
+        self._next_token = 0
+        self._mean_gap = 1000.0 / mpki
+        self._rng = DeterministicRng(seed, f"core/{core_id}")
+        self.next_miss_cycle = self._draw_gap()
+
+    def _draw_gap(self) -> int:
+        """Cycles until the next miss while running.
+
+        The gap is drawn in instructions and converted to cycles at the
+        core's issue width.
+        """
+        gap = self._rng.expovariate(1.0 / self._mean_gap)
+        return max(1, round(gap / self.issue_width))
+
+    @property
+    def is_blocked(self) -> bool:
+        """True while the core is stalled."""
+        return self.blocked_since >= 0
+
+    def _oldest_issue(self) -> int | None:
+        if not self.outstanding:
+            return None
+        return min(self.outstanding.values())
+
+    def _block(self, cycle: int) -> None:
+        if not self.is_blocked:
+            self.blocked_since = cycle
+
+    def _unblock(self, cycle: int) -> None:
+        self.blocked_cycles += cycle - self.blocked_since
+        self.blocked_since = -1
+        self.next_miss_cycle = cycle + self._draw_gap()
+
+    # ------------------------------------------------------------------
+    # Event interface (driven by the processor)
+    # ------------------------------------------------------------------
+    def miss_due(self, cycle: int) -> bool:
+        """Should a miss fire at ``cycle``? (False while blocked.)"""
+        return not self.is_blocked and cycle >= self.next_miss_cycle
+
+    def issue_miss(self, cycle: int) -> int:
+        """Record a miss issuing at ``cycle``; return its token.
+
+        Blocks the core immediately when the miss fills the MLP limit;
+        otherwise the caller should schedule a window-fill check at
+        :meth:`stall_check_cycle`.
+        """
+        token = self._next_token
+        self._next_token += 1
+        self.outstanding[token] = cycle
+        self.misses_issued += 1
+        if len(self.outstanding) >= self.mlp_limit:
+            self._block(cycle)
+        else:
+            self.next_miss_cycle = cycle + self._draw_gap()
+        return token
+
+    def stall_check_cycle(self) -> int | None:
+        """Cycle at which the window would fill behind the oldest miss.
+
+        Returns ``None`` when nothing is outstanding or the core is
+        already stalled.
+        """
+        if self.is_blocked:
+            return None
+        oldest = self._oldest_issue()
+        if oldest is None:
+            return None
+        return oldest + self.window_slack
+
+    def check_stall(self, cycle: int) -> None:
+        """Stall the core if its oldest miss has exceeded the slack."""
+        if self.is_blocked:
+            return
+        oldest = self._oldest_issue()
+        if oldest is not None and cycle - oldest >= self.window_slack:
+            self._block(cycle)
+
+    def complete(self, token: int, cycle: int) -> bool:
+        """A miss finished.  Returns True when the core resumed."""
+        issue = self.outstanding.pop(token, None)
+        if issue is None:
+            raise RuntimeError(
+                f"core {self.core_id}: unknown miss token {token}"
+            )
+        self.misses_completed += 1
+        if not self.is_blocked:
+            return False
+        # Resume only once retirement can proceed: below the MLP limit
+        # and no remaining miss already past the window slack.
+        if len(self.outstanding) >= self.mlp_limit:
+            return False
+        oldest = self._oldest_issue()
+        if oldest is not None and cycle - oldest >= self.window_slack:
+            return False
+        self._unblock(cycle)
+        return True
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def finalize(self, cycle: int) -> None:
+        """Close an open stall interval at the end of simulation."""
+        if self.is_blocked:
+            self.blocked_cycles += cycle - self.blocked_since
+            self.blocked_since = -1
+
+    def instructions_retired(self, cycles: int) -> int:
+        """Instructions retired over ``cycles``.
+
+        The core retires ``issue_width`` instructions per running cycle.
+        """
+        return self.issue_width * max(0, cycles - self.blocked_cycles)
+
+    def ipc(self, cycles: int) -> float:
+        """Instructions per cycle over the run."""
+        if cycles <= 0:
+            return 0.0
+        return self.instructions_retired(cycles) / cycles

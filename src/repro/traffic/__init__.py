@@ -1,0 +1,35 @@
+"""Synthetic traffic substrate: patterns, generators, traces."""
+
+from repro.traffic.generators import (
+    BurstyTrafficSource,
+    SyntheticTrafficSource,
+)
+from repro.traffic.patterns import (
+    PATTERN_NAMES,
+    BitComplementPattern,
+    TrafficPattern,
+    TransposePattern,
+    UniformRandomPattern,
+    make_pattern,
+)
+from repro.traffic.trace import (
+    RecordingSource,
+    TraceRecord,
+    TraceSource,
+    TrafficTrace,
+)
+
+__all__ = [
+    "BurstyTrafficSource",
+    "SyntheticTrafficSource",
+    "RecordingSource",
+    "TraceRecord",
+    "TraceSource",
+    "TrafficTrace",
+    "PATTERN_NAMES",
+    "BitComplementPattern",
+    "TrafficPattern",
+    "TransposePattern",
+    "UniformRandomPattern",
+    "make_pattern",
+]

@@ -1,0 +1,103 @@
+"""Open-loop synthetic traffic sources.
+
+Each node injects packets by a Bernoulli process whose per-cycle
+probability equals the offered load in packets/node/cycle.  The bursty
+source replays a piecewise-constant load schedule, reproducing the
+two-burst scenario of Figure 12.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from collections.abc import Sequence
+
+from repro.noc.config import SYNTHETIC_PACKET_BITS
+from repro.noc.flit import MessageClass, Packet
+from repro.noc.multinoc import MultiNocFabric
+from repro.traffic.patterns import TrafficPattern
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_in_range
+
+__all__ = ["SyntheticTrafficSource", "BurstyTrafficSource"]
+
+
+class SyntheticTrafficSource:
+    """Constant-load Bernoulli injector over a traffic pattern."""
+
+    def __init__(
+        self,
+        fabric: MultiNocFabric,
+        pattern: TrafficPattern,
+        load: float,
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        seed: int = 7,
+    ) -> None:
+        check_in_range("load", load, 0.0, 1.0)
+        self.fabric = fabric
+        self.pattern = pattern
+        self.load = load
+        self.packet_bits = packet_bits
+        self.rng = DeterministicRng(seed, "traffic")
+        self.packets_generated = 0
+
+    def current_load(self, cycle: int) -> float:
+        """Offered load (packets/node/cycle) active at ``cycle``."""
+        return self.load
+
+    def step(self, cycle: int) -> None:
+        """Possibly inject one packet at each node this cycle."""
+        load = self.current_load(cycle)
+        if load <= 0.0:
+            return
+        fabric = self.fabric
+        pattern = self.pattern
+        rng = self.rng
+        random = rng.random
+        for node in range(fabric.mesh.num_nodes):
+            if random() >= load:
+                continue
+            dst = pattern.destination(node, rng)
+            if dst is None:
+                continue
+            fabric.offer(
+                Packet(
+                    src=node,
+                    dst=dst,
+                    size_bits=self.packet_bits,
+                    message_class=MessageClass.SYNTHETIC,
+                )
+            )
+            self.packets_generated += 1
+
+
+class BurstyTrafficSource(SyntheticTrafficSource):
+    """Bernoulli injector driven by a piecewise-constant load schedule.
+
+    ``schedule`` is a sequence of ``(start_cycle, load)`` pairs sorted by
+    start cycle; the load before the first entry is the first entry's
+    load.  Figure 12's scenario is the default schedule in
+    :func:`repro.experiments.fig12_bursty.burst_schedule`.
+    """
+
+    def __init__(
+        self,
+        fabric: MultiNocFabric,
+        pattern: TrafficPattern,
+        schedule: Sequence[tuple[int, float]],
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        seed: int = 7,
+    ) -> None:
+        if not schedule:
+            raise ValueError("schedule must not be empty")
+        starts = [start for start, _ in schedule]
+        if starts != sorted(starts):
+            raise ValueError("schedule must be sorted by start cycle")
+        super().__init__(
+            fabric, pattern, schedule[0][1], packet_bits, seed
+        )
+        self._starts = starts
+        self._loads = [load for _, load in schedule]
+
+    def current_load(self, cycle: int) -> float:
+        index = bisect_right(self._starts, cycle) - 1
+        return self._loads[max(index, 0)]

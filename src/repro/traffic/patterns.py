@@ -1,0 +1,133 @@
+"""Synthetic traffic patterns (paper §4.1, §6.3).
+
+Patterns map a source node to a destination node on the router grid.
+The paper evaluates uniform random, transpose, and bit complement;
+transpose and bit complement are the adversarial, non-uniform patterns
+that stress congestion detection (Figure 11).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.noc.topology import ConcentratedMesh
+from repro.util.rng import DeterministicRng
+
+__all__ = [
+    "TrafficPattern",
+    "UniformRandomPattern",
+    "TransposePattern",
+    "BitComplementPattern",
+    "HotspotPattern",
+    "make_pattern",
+    "PATTERN_NAMES",
+]
+
+PATTERN_NAMES = ("uniform", "transpose", "bit_complement", "hotspot")
+
+
+class TrafficPattern(ABC):
+    """Maps source nodes to destination nodes."""
+
+    def __init__(self, mesh: ConcentratedMesh) -> None:
+        self.mesh = mesh
+
+    @abstractmethod
+    def destination(self, src: int, rng: DeterministicRng) -> int | None:
+        """Destination for a packet from ``src``.
+
+        Returns ``None`` when the pattern maps the node to itself (such
+        packets are never injected).
+        """
+
+
+class UniformRandomPattern(TrafficPattern):
+    """Each packet targets a uniformly random other node."""
+
+    def destination(self, src: int, rng: DeterministicRng) -> int | None:
+        num_nodes = self.mesh.num_nodes
+        dst = rng.randrange(num_nodes - 1)
+        if dst >= src:
+            dst += 1
+        return dst
+
+
+class TransposePattern(TrafficPattern):
+    """Node (x, y) sends to node (y, x); diagonal nodes stay silent.
+
+    Requires a square mesh.  Transpose concentrates traffic along a few
+    paths, which is why it saturates much earlier than uniform random.
+    """
+
+    def __init__(self, mesh: ConcentratedMesh) -> None:
+        super().__init__(mesh)
+        if mesh.cols != mesh.rows:
+            raise ValueError("transpose requires a square mesh")
+
+    def destination(self, src: int, rng: DeterministicRng) -> int | None:
+        x, y = self.mesh.coordinates(src)
+        if x == y:
+            return None
+        return self.mesh.node_at(y, x)
+
+
+class BitComplementPattern(TrafficPattern):
+    """Node i sends to node (N-1-i): every packet crosses the centre."""
+
+    def destination(self, src: int, rng: DeterministicRng) -> int | None:
+        dst = self.mesh.num_nodes - 1 - src
+        return None if dst == src else dst
+
+
+class HotspotPattern(TrafficPattern):
+    """A fraction of traffic targets a few hotspot nodes (extension).
+
+    Not evaluated in the paper, but the classic stress case for
+    congestion detection: with probability ``hotspot_fraction`` a packet
+    goes to one of the ``num_hotspots`` centre nodes; otherwise the
+    destination is uniform random.
+    """
+
+    def __init__(
+        self,
+        mesh: ConcentratedMesh,
+        hotspot_fraction: float = 0.2,
+        num_hotspots: int = 4,
+    ) -> None:
+        super().__init__(mesh)
+        if not 0.0 <= hotspot_fraction <= 1.0:
+            raise ValueError("hotspot_fraction must be a probability")
+        if num_hotspots < 1:
+            raise ValueError("num_hotspots must be >= 1")
+        self.hotspot_fraction = hotspot_fraction
+        centre_x = mesh.cols // 2
+        centre_y = mesh.rows // 2
+        candidates = []
+        for dy in (0, -1, 1, -2, 2):
+            for dx in (0, -1, 1, -2, 2):
+                x, y = centre_x + dx, centre_y + dy
+                if 0 <= x < mesh.cols and 0 <= y < mesh.rows:
+                    node = mesh.node_at(x, y)
+                    if node not in candidates:
+                        candidates.append(node)
+        self.hotspots = candidates[:num_hotspots]
+        self._uniform = UniformRandomPattern(mesh)
+
+    def destination(self, src: int, rng: DeterministicRng) -> int | None:
+        if rng.random() < self.hotspot_fraction:
+            dst = self.hotspots[rng.randrange(len(self.hotspots))]
+            return None if dst == src else dst
+        return self._uniform.destination(src, rng)
+
+
+def make_pattern(name: str, mesh: ConcentratedMesh) -> TrafficPattern:
+    """Build a traffic pattern by name."""
+    if name == "uniform":
+        return UniformRandomPattern(mesh)
+    if name == "transpose":
+        return TransposePattern(mesh)
+    if name == "bit_complement":
+        return BitComplementPattern(mesh)
+    if name == "hotspot":
+        return HotspotPattern(mesh)
+    raise ValueError(f"unknown traffic pattern {name!r}")

@@ -1,0 +1,155 @@
+"""Traffic trace recording and replay.
+
+The paper's methodology is trace-driven: instruction traces feed a
+cycle-level backend.  This module provides the network-level analogue —
+any traffic source can be recorded into a :class:`TrafficTrace` and
+replayed cycle-accurately later (or on a different fabric
+configuration), which makes experiments repeatable independent of the
+generator that produced them and enables apples-to-apples comparisons
+of designs under the *identical* packet sequence.
+
+Traces serialize to a simple text format (one packet per line) so they
+can be stored alongside experiment results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.noc.flit import Packet
+from repro.noc.multinoc import MultiNocFabric
+
+__all__ = ["TraceRecord", "TrafficTrace", "RecordingSource", "TraceSource"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One recorded packet injection."""
+
+    cycle: int
+    src: int
+    dst: int
+    size_bits: int
+    message_class: int
+
+
+class TrafficTrace:
+    """An ordered collection of packet-injection records."""
+
+    def __init__(self, records: list[TraceRecord] | None = None) -> None:
+        self.records: list[TraceRecord] = list(records or [])
+
+    def append(self, record: TraceRecord) -> None:
+        """Add one record (records must be appended in cycle order)."""
+        if self.records and record.cycle < self.records[-1].cycle:
+            raise ValueError("trace records must be in cycle order")
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def duration(self) -> int:
+        """Cycle of the last recorded injection (0 when empty)."""
+        return self.records[-1].cycle if self.records else 0
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def save(self, path: str | Path) -> None:
+        """Write the trace as one whitespace-separated line per packet."""
+        lines = [
+            f"{r.cycle} {r.src} {r.dst} {r.size_bits} {r.message_class}"
+            for r in self.records
+        ]
+        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrafficTrace":
+        """Read a trace written by :meth:`save`."""
+        trace = cls()
+        for lineno, line in enumerate(
+            Path(path).read_text().splitlines(), start=1
+        ):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 5:
+                raise ValueError(f"malformed trace line {lineno}: {line!r}")
+            cycle, src, dst, bits, mc = (int(p) for p in parts)
+            trace.append(TraceRecord(cycle, src, dst, bits, mc))
+        return trace
+
+
+class RecordingSource:
+    """Wraps any traffic source and records what it offers.
+
+    The wrapped source must expose ``step(cycle)`` and offer packets
+    through the fabric passed here; recording hooks the fabric's
+    ``offer`` just for the duration of each step.
+    """
+
+    def __init__(self, fabric: MultiNocFabric, inner) -> None:
+        self.fabric = fabric
+        self.inner = inner
+        self.trace = TrafficTrace()
+
+    def step(self, cycle: int) -> None:
+        """Run the inner source for one cycle, recording its packets."""
+        original_offer = self.fabric.offer
+
+        def recording_offer(packet: Packet) -> None:
+            self.trace.append(
+                TraceRecord(
+                    cycle=cycle,
+                    src=packet.src,
+                    dst=packet.dst,
+                    size_bits=packet.size_bits,
+                    message_class=packet.message_class,
+                )
+            )
+            original_offer(packet)
+
+        self.fabric.offer = recording_offer  # type: ignore[method-assign]
+        try:
+            self.inner.step(cycle)
+        finally:
+            self.fabric.offer = original_offer  # type: ignore[method-assign]
+
+
+class TraceSource:
+    """Replays a :class:`TrafficTrace` into a fabric cycle-accurately."""
+
+    def __init__(self, fabric: MultiNocFabric, trace: TrafficTrace) -> None:
+        self.fabric = fabric
+        self.trace = trace
+        self._index = 0
+        self.packets_generated = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once every record has been replayed."""
+        return self._index >= len(self.trace.records)
+
+    def step(self, cycle: int) -> None:
+        """Offer every packet recorded for ``cycle``."""
+        records = self.trace.records
+        index = self._index
+        while index < len(records) and records[index].cycle <= cycle:
+            record = records[index]
+            self.fabric.offer(
+                Packet(
+                    src=record.src,
+                    dst=record.dst,
+                    size_bits=record.size_bits,
+                    message_class=record.message_class,
+                )
+            )
+            self.packets_generated += 1
+            index += 1
+        self._index = index

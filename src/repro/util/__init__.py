@@ -1,0 +1,21 @@
+"""Shared utilities: RNG, tables, ASCII plotting, validation."""
+
+from repro.util.ascii_plot import bar_chart, line_chart, sparkline
+from repro.util.rng import DeterministicRng
+from repro.util.tables import format_table
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+)
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "DeterministicRng",
+    "format_table",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+]

@@ -1,0 +1,92 @@
+"""Terminal-friendly plotting: sparklines, bar charts, line charts.
+
+Experiment drivers produce tables; these helpers render their series
+as ASCII figures so the paper's plots have a visual analogue directly
+in the terminal (and in saved ``.txt`` outputs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["sparkline", "bar_chart", "line_chart"]
+
+_SPARKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Render a sequence as a unicode sparkline string."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    span = high - low
+    if span <= 0:
+        return _SPARKS[0] * len(values)
+    levels = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[round((v - low) / span * levels)] for v in values
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 40,
+    title: str | None = None,
+    unit: str = "",
+) -> str:
+    """Render horizontal bars, one per (label, value) pair."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have equal length")
+    if not values:
+        return title or ""
+    peak = max(values) or 1.0
+    label_width = max(len(label) for label in labels)
+    lines = [] if title is None else [title]
+    for label, value in zip(labels, values):
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(
+            f"{label.ljust(label_width)} |{bar} {value:.3g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    xs: Sequence[float],
+    series: dict[str, Sequence[float]],
+    height: int = 12,
+    width: int = 60,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against shared x values.
+
+    Each series is drawn with its own marker character; the chart is a
+    plain character grid with a y-axis range annotation.
+    """
+    if not xs or not series:
+        return title or ""
+    markers = "*o+x@%"
+    all_values = [v for ys in series.values() for v in ys]
+    low, high = min(all_values), max(all_values)
+    span = (high - low) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    x_low, x_high = min(xs), max(xs)
+    x_span = (x_high - x_low) or 1.0
+    for index, (name, ys) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        for x, y in zip(xs, ys):
+            col = round((x - x_low) / x_span * (width - 1))
+            row = height - 1 - round((y - low) / span * (height - 1))
+            grid[row][col] = marker
+    lines = [] if title is None else [title]
+    lines.append(f"y: [{low:.3g} .. {high:.3g}]")
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x: [{x_low:.3g} .. {x_high:.3g}]")
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}"
+        for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

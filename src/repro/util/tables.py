@@ -1,0 +1,74 @@
+"""Plain-text table rendering for experiment reports.
+
+Experiment drivers return row dictionaries; benches and examples render
+them with :func:`format_table` so that every figure/table in the paper has
+a textual equivalent that can be diffed across runs.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _fmt(value: object, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render ``rows`` (mappings) as an aligned ASCII table.
+
+    Parameters
+    ----------
+    rows:
+        Sequence of mappings; all keys of the first row are used as
+        columns unless ``columns`` is given.
+    columns:
+        Explicit column order (and subset) to render.
+    title:
+        Optional heading printed above the table.
+    precision:
+        Decimal places used for floats.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    cells = [[_fmt(row.get(c, ""), precision) for c in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in cells))
+        for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    rule = "  ".join("-" * w for w in widths)
+    body = "\n".join(
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+        for line in cells
+    )
+    parts = []
+    if title:
+        parts.append(title)
+    parts.extend([header, rule, body])
+    return "\n".join(parts)
+
+
+def format_series(
+    xs: Sequence[object],
+    ys: Sequence[object],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render a single (x, y) series as a two-column table."""
+    rows = [{x_label: x, y_label: y} for x, y in zip(xs, ys)]
+    return format_table(rows, [x_label, y_label], title, precision)

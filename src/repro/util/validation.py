@@ -1,0 +1,27 @@
+"""Small argument-validation helpers used by public constructors."""
+
+from __future__ import annotations
+
+__all__ = ["check_positive", "check_in_range", "check_power_of_two"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise ``ValueError`` unless ``value`` is strictly positive."""
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float
+) -> None:
+    """Raise ``ValueError`` unless ``low <= value <= high``."""
+    if not low <= value <= high:
+        raise ValueError(
+            f"{name} must be in [{low}, {high}], got {value!r}"
+        )
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Raise ``ValueError`` unless ``value`` is a power of two."""
+    if value < 1 or value & (value - 1):
+        raise ValueError(f"{name} must be a power of two, got {value!r}")

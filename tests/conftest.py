@@ -1,0 +1,62 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.config import (
+    CongestionConfig,
+    NocConfig,
+    PowerGatingConfig,
+)
+from repro.noc.multinoc import MultiNocFabric
+
+
+def small_config(**overrides) -> NocConfig:
+    """A 4x4 mesh config that keeps tests fast."""
+    defaults = dict(
+        mesh_cols=4,
+        mesh_rows=4,
+        num_subnets=2,
+        link_width_bits=128,
+        voltage_v=0.625,
+    )
+    defaults.update(overrides)
+    return NocConfig(**defaults)
+
+
+def small_fabric(seed: int = 5, **overrides) -> MultiNocFabric:
+    """A small fabric ready for end-to-end tests."""
+    return MultiNocFabric(small_config(**overrides), seed=seed)
+
+
+def gated_config(**overrides) -> NocConfig:
+    """Small config with power gating enabled."""
+    overrides.setdefault("gating", PowerGatingConfig(enabled=True))
+    return small_config(**overrides)
+
+
+@pytest.fixture
+def fabric() -> MultiNocFabric:
+    """Default small 2-subnet fabric."""
+    return small_fabric()
+
+
+@pytest.fixture
+def single_fabric() -> MultiNocFabric:
+    """Small single-subnet fabric."""
+    return small_fabric(num_subnets=1, link_width_bits=256)
+
+
+def drain_all(fabric: MultiNocFabric, max_cycles: int = 50_000) -> None:
+    """Drain the fabric and fail the test if it cannot."""
+    assert fabric.drain(max_cycles), "fabric failed to drain"
+
+
+__all__ = [
+    "small_config",
+    "small_fabric",
+    "gated_config",
+    "drain_all",
+    "CongestionConfig",
+]

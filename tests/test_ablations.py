@@ -1,0 +1,68 @@
+"""Tiny-scale smoke/shape tests for the ablation drivers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    ABLATIONS,
+    run_ablation_bfm_threshold,
+    run_ablation_idle_detect,
+    run_ablation_region_divisions,
+    run_ablation_wakeup_delay,
+)
+
+TINY = 0.12
+
+
+class TestDrivers:
+    def test_registry_names_match_results(self):
+        for name, run in ABLATIONS.items():
+            assert callable(run)
+            assert name.startswith("abl_")
+
+    def test_bfm_threshold_rows(self):
+        result = run_ablation_bfm_threshold(
+            scale=TINY, thresholds=(6, 12)
+        )
+        assert len(result.rows) == 4
+        assert {r["threshold"] for r in result.rows} == {6, 12}
+
+    def test_wakeup_delay_latency_monotonicity(self):
+        """Longer wakeup delays never help low-load latency."""
+        result = run_ablation_wakeup_delay(scale=0.3, delays=(2, 20))
+        low = [r for r in result.rows if r["load"] == 0.03]
+        fast = next(r for r in low if r["wakeup"] == 2)
+        slow = next(r for r in low if r["wakeup"] == 20)
+        assert slow["latency"] >= fast["latency"] - 1.0
+
+    def test_idle_detect_short_windows_sleep_more(self):
+        """Aggressive idle detection exposes at least as much CSC."""
+        result = run_ablation_idle_detect(scale=0.3, values=(1, 32))
+        low = [r for r in result.rows if r["load"] == 0.03]
+        aggressive = next(r for r in low if r["idle_detect"] == 1)
+        lazy = next(r for r in low if r["idle_detect"] == 32)
+        assert aggressive["csc_pct"] >= lazy["csc_pct"] - 2.0
+
+    def test_region_divisions_run(self):
+        result = run_ablation_region_divisions(
+            scale=TINY, divisions=(1, 4)
+        )
+        assert {r["divisions"] for r in result.rows} == {1, 4}
+        assert all(r["csc_pct"] >= 0 for r in result.rows)
+
+
+class TestExtensionExperiments:
+    def test_class_partition_comparison(self):
+        from repro.experiments.ext_specialization import (
+            run_ext_class_partition,
+        )
+
+        result = run_ext_class_partition(scale=0.08)
+        assert {r["policy"] for r in result.rows} == {
+            "catnap", "round_robin", "class_partition",
+        }
+        catnap = result.select(policy="catnap")[0]
+        partition = result.select(policy="class_partition")[0]
+        # Catnap must expose more sleep time than class specialization.
+        assert catnap["csc_pct"] > partition["csc_pct"]

@@ -1,0 +1,59 @@
+"""Tests for ASCII plotting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.ascii_plot import bar_chart, line_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_flat_series(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_monotone_series_monotone_glyphs(self):
+        out = sparkline([0, 1, 2, 3])
+        assert out[0] == "▁" and out[-1] == "█"
+
+    @given(st.lists(st.floats(0, 1e6), min_size=1, max_size=50))
+    def test_length_preserved(self, values):
+        assert len(sparkline(values)) == len(values)
+
+
+class TestBarChart:
+    def test_peak_bar_longest(self):
+        out = bar_chart(["a", "b"], [1.0, 4.0], width=20)
+        lines = out.splitlines()
+        assert lines[1].count("#") > lines[0].count("#")
+
+    def test_title_and_unit(self):
+        out = bar_chart(["x"], [2.0], title="T", unit="W")
+        assert out.startswith("T\n")
+        assert "2W" in out
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            bar_chart(["a"], [1.0, 2.0])
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        out = line_chart(
+            [0, 1, 2],
+            {"lat": [10, 20, 30], "thr": [1, 2, 3]},
+        )
+        assert "*" in out and "o" in out
+        assert "*=lat" in out and "o=thr" in out
+
+    def test_axis_annotations(self):
+        out = line_chart([0, 10], {"y": [5, 15]})
+        assert "y: [5 .. 15]" in out
+        assert "x: [0 .. 10]" in out
+
+    def test_empty_inputs(self):
+        assert line_chart([], {}, title="t") == "t"

@@ -1,0 +1,84 @@
+"""Tests for VC buffers and message-class VC assignment."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.buffers import InputPort, VirtualChannel, vc_candidates
+from repro.noc.flit import Flit, MessageClass, Packet
+
+
+def flit():
+    return Flit(Packet(src=0, dst=1, size_bits=72), True, True, 0)
+
+
+class TestVirtualChannel:
+    def test_allocation_lifecycle(self):
+        vc = VirtualChannel(depth=4)
+        assert not vc.has_allocation
+        vc.out_port = 1
+        vc.out_vc = 2
+        assert vc.has_allocation
+        vc.release_allocation()
+        assert not vc.has_allocation
+        assert vc.out_port == -1 and vc.out_vc == -1
+
+
+class TestInputPort:
+    def test_push_pop_fifo_order(self):
+        port = InputPort(2, 4)
+        flits = [flit() for _ in range(3)]
+        for f in flits:
+            port.push(0, f)
+        assert port.occupancy == 3
+        assert [port.pop(0) for _ in range(3)] == flits
+        assert port.occupancy == 0
+
+    def test_overflow_raises(self):
+        port = InputPort(1, 2)
+        port.push(0, flit())
+        port.push(0, flit())
+        with pytest.raises(OverflowError):
+            port.push(0, flit())
+
+    def test_occupancy_across_vcs(self):
+        port = InputPort(4, 4)
+        port.push(0, flit())
+        port.push(3, flit())
+        assert port.occupancy == 2
+        assert not port.is_empty
+        port.pop(0)
+        port.pop(3)
+        assert port.is_empty
+
+
+class TestVcCandidates:
+    def test_synthetic_gets_all(self):
+        assert vc_candidates(MessageClass.SYNTHETIC, 4) == (0, 1, 2, 3)
+        assert vc_candidates(MessageClass.SYNTHETIC, 2) == (0, 1)
+
+    def test_protocol_classes_disjoint_on_4vc(self):
+        sets = [
+            set(vc_candidates(mc, 4))
+            for mc in (
+                MessageClass.REQUEST,
+                MessageClass.FORWARD,
+                MessageClass.RESPONSE,
+            )
+        ]
+        for i in range(len(sets)):
+            for j in range(i + 1, len(sets)):
+                assert not sets[i] & sets[j]
+
+    def test_response_gets_two_vcs(self):
+        assert vc_candidates(MessageClass.RESPONSE, 4) == (2, 3)
+
+    @given(
+        st.sampled_from(MessageClass.ALL),
+        st.integers(1, 8),
+    )
+    def test_candidates_always_valid(self, mc, vcs):
+        for vc in vc_candidates(mc, vcs):
+            assert 0 <= vc < vcs

@@ -1,0 +1,118 @@
+"""Tests for the MESI directory transaction engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import small_config
+
+from repro.noc.multinoc import MultiNocFabric
+from repro.system.coherence import (
+    CoherenceEngine,
+    CoherenceParams,
+    Transaction,
+)
+from repro.system.memory import MemorySystem
+
+
+def make_engine(params=None, seed=5):
+    fabric = MultiNocFabric(small_config(), seed=seed)
+    memory = MemorySystem(fabric.mesh, count=4)
+    completions = []
+    engine = CoherenceEngine(
+        fabric,
+        memory,
+        params or CoherenceParams(),
+        on_complete=lambda txn, cycle: completions.append((txn, cycle)),
+        seed=seed,
+    )
+    return fabric, engine, completions
+
+
+def run_transactions(fabric, engine, count, max_cycles=20_000):
+    for i in range(count):
+        engine.start_transaction(
+            Transaction(core_id=i, node=i % fabric.mesh.num_nodes,
+                        start_cycle=fabric.cycle),
+            fabric.cycle,
+        )
+    for _ in range(max_cycles):
+        engine.process_due(fabric.cycle)
+        fabric.step()
+        if engine.transactions_completed >= count:
+            break
+    engine.process_due(fabric.cycle)
+
+
+class TestTransactionCompletion:
+    def test_every_transaction_completes(self):
+        fabric, engine, completions = make_engine()
+        run_transactions(fabric, engine, 50)
+        assert engine.transactions_completed == 50
+        assert len(completions) == 50
+
+    def test_completion_latency_reasonable(self):
+        fabric, engine, completions = make_engine()
+        run_transactions(fabric, engine, 30)
+        latencies = [
+            cycle - txn.start_cycle for txn, cycle in completions
+        ]
+        assert all(lat > 0 for lat in latencies)
+        # Round trip on a small idle mesh: tens of cycles, not thousands.
+        assert sum(latencies) / len(latencies) < 400
+
+    def test_l2_miss_pays_dram_latency(self):
+        fabric, engine, completions = make_engine(
+            params=CoherenceParams(l2_hit_rate=0.0,
+                                   invalidate_fraction=0.0,
+                                   writeback_fraction=0.0)
+        )
+        run_transactions(fabric, engine, 20)
+        latencies = [c - t.start_cycle for t, c in completions]
+        assert min(latencies) >= 80, "DRAM latency must be paid"
+
+    def test_pure_l2_hits_faster_than_misses(self):
+        def mean_latency(hit_rate):
+            fabric, engine, completions = make_engine(
+                params=CoherenceParams(l2_hit_rate=hit_rate,
+                                       invalidate_fraction=0.0,
+                                       writeback_fraction=0.0)
+            )
+            run_transactions(fabric, engine, 30)
+            lats = [c - t.start_cycle for t, c in completions]
+            return sum(lats) / len(lats)
+
+        assert mean_latency(1.0) < mean_latency(0.0)
+
+
+class TestMessageMix:
+    def test_control_fraction_near_paper_60pct(self):
+        fabric, engine, _ = make_engine()
+        run_transactions(fabric, engine, 300)
+        assert 0.45 <= engine.control_fraction <= 0.75
+
+    def test_writebacks_add_data_packets(self):
+        def data_count(wb):
+            fabric, engine, _ = make_engine(
+                params=CoherenceParams(writeback_fraction=wb), seed=8
+            )
+            run_transactions(fabric, engine, 100)
+            return engine.data_packets
+
+        assert data_count(0.9) > data_count(0.0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_message_counts(self):
+        def run():
+            fabric, engine, _ = make_engine(seed=11)
+            run_transactions(fabric, engine, 60)
+            return (engine.control_packets, engine.data_packets)
+
+        assert run() == run()
+
+
+class TestParamsValidation:
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            CoherenceParams(l2_hit_rate=1.5)

@@ -1,0 +1,125 @@
+"""Tests for the event-driven processor core model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.core import CoreModel
+
+
+def make_core(mpki=10.0, mlp=4, slack=32, width=2):
+    return CoreModel(
+        0, mpki, mlp_limit=mlp, window_slack=slack, issue_width=width,
+    )
+
+
+class TestMissGeneration:
+    def test_gap_scales_with_mpki(self):
+        fast = CoreModel(0, 100.0, seed=1)
+        slow = CoreModel(1, 1.0, seed=1)
+        fast_gaps = [fast._draw_gap() for _ in range(200)]
+        slow_gaps = [slow._draw_gap() for _ in range(200)]
+        assert sum(fast_gaps) < sum(slow_gaps)
+
+    def test_gap_scales_with_issue_width(self):
+        narrow = CoreModel(0, 10.0, issue_width=1, seed=2)
+        wide = CoreModel(0, 10.0, issue_width=4, seed=2)
+        n = sum(narrow._draw_gap() for _ in range(300))
+        w = sum(wide._draw_gap() for _ in range(300))
+        assert w < n
+
+    def test_miss_due(self):
+        core = make_core()
+        assert not core.miss_due(0)
+        assert core.miss_due(core.next_miss_cycle)
+
+
+class TestMlpLimit:
+    def test_blocks_at_limit(self):
+        core = make_core(mlp=2)
+        core.issue_miss(10)
+        assert not core.is_blocked
+        core.issue_miss(11)
+        assert core.is_blocked
+
+    def test_completion_unblocks(self):
+        core = make_core(mlp=2)
+        t1 = core.issue_miss(10)
+        t2 = core.issue_miss(11)
+        assert core.is_blocked
+        resumed = core.complete(t1, 20)
+        assert resumed and not core.is_blocked
+        assert core.blocked_cycles == 9
+
+
+class TestWindowSlack:
+    def test_stall_check_blocks_old_miss(self):
+        core = make_core(slack=32)
+        core.issue_miss(100)
+        core.check_stall(120)
+        assert not core.is_blocked
+        core.check_stall(132)
+        assert core.is_blocked
+
+    def test_stall_check_cycle_is_oldest_plus_slack(self):
+        core = make_core(slack=32)
+        core.issue_miss(100)
+        core.issue_miss(110)
+        assert core.stall_check_cycle() == 132
+
+    def test_completion_of_old_miss_prevents_stall(self):
+        core = make_core(slack=32)
+        token = core.issue_miss(100)
+        core.complete(token, 120)
+        core.check_stall(140)
+        assert not core.is_blocked
+
+    def test_resume_blocked_until_young_oldest(self):
+        core = make_core(slack=32)
+        t1 = core.issue_miss(100)
+        t2 = core.issue_miss(130)
+        core.check_stall(132)  # blocked on t1
+        assert core.is_blocked
+        # Completing t1 at 170: t2 is now 40 > slack old -> stay blocked.
+        assert not core.complete(t1, 170)
+        assert core.is_blocked
+        assert core.complete(t2, 180)
+        assert core.blocked_cycles == 48
+
+
+class TestAccounting:
+    def test_unknown_token_raises(self):
+        core = make_core()
+        with pytest.raises(RuntimeError):
+            core.complete(99, 10)
+
+    def test_ipc_full_speed_without_stalls(self):
+        core = make_core(width=2)
+        assert core.ipc(1000) == 2.0
+
+    def test_ipc_reflects_blocked_cycles(self):
+        core = make_core(width=2, mlp=1)
+        token = core.issue_miss(0)
+        core.complete(token, 100)
+        assert core.blocked_cycles == 100
+        assert core.ipc(1000) == pytest.approx(2.0 * 900 / 1000)
+
+    def test_finalize_closes_open_stall(self):
+        core = make_core(mlp=1)
+        core.issue_miss(0)
+        core.finalize(50)
+        assert core.blocked_cycles == 50
+        assert not core.is_blocked
+
+    def test_misses_counted(self):
+        core = make_core()
+        t = core.issue_miss(5)
+        core.complete(t, 50)
+        assert core.misses_issued == 1
+        assert core.misses_completed == 1
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            CoreModel(0, mpki=0)
+        with pytest.raises(ValueError):
+            CoreModel(0, mpki=1, mlp_limit=0)

@@ -1,0 +1,206 @@
+"""Smoke + shape tests for every experiment driver (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    run_synthetic_point,
+    synthetic_phases,
+)
+from repro.experiments.fig02_bandwidth import run_fig02
+from repro.experiments.fig06_subnet_scaling import run_fig06
+from repro.experiments.fig07_power_breakdown import run_fig07
+from repro.experiments.fig08_applications import (
+    fig08_configs,
+    headline_summary,
+    run_fig08,
+)
+from repro.experiments.fig09_csc import run_fig09
+from repro.experiments.fig10_uniform_pg import fig10_configs, run_fig10
+from repro.experiments.fig11_congestion_metrics import (
+    fig11_variants,
+    run_fig11,
+)
+from repro.experiments.fig12_bursty import burst_schedule, run_fig12
+from repro.experiments.fig13_ir_thresholds import ir_config, run_fig13
+from repro.experiments.fig14_64core import run_fig14
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table02_voltage import run_table02
+
+TINY = 0.08
+
+
+class TestExperimentResult:
+    def test_to_table_and_select(self):
+        result = ExperimentResult(
+            "x", "t", rows=[{"a": 1, "b": 2}, {"a": 1, "b": 3}]
+        )
+        assert "x: t" in result.to_table()
+        assert result.column("b") == [2, 3]
+        assert len(result.select(a=1)) == 2
+        assert result.select(b=3)[0]["b"] == 3
+
+
+class TestTable02:
+    def test_exact(self):
+        result = run_table02()
+        assert len(result.rows) == 4
+        highlighted = [r for r in result.rows if r["highlighted"]]
+        assert all(r["frequency_ghz"] == 2.0 for r in highlighted)
+
+
+class TestFig07:
+    def test_bar_ordering(self):
+        result = run_fig07()
+        totals = result.column("total_w")
+        assert totals[0] > totals[1] > totals[2]
+
+    def test_buffer_power_roughly_equal(self):
+        result = run_fig07()
+        buffers = result.column("buffer")
+        assert buffers[0] == pytest.approx(buffers[1], rel=0.25)
+
+
+class TestFig12:
+    def test_schedule(self):
+        loads = dict(burst_schedule())
+        assert loads[1000] == 0.30 and loads[2000] == 0.10
+
+    def test_burst_ramp_and_decay(self):
+        result = run_fig12()
+        def window(lo, hi, key):
+            rows = [r for r in result.rows if lo < r["cycle"] <= hi]
+            return sum(r[key] for r in rows) / len(rows)
+
+        assert window(1200, 1500, "accepted") > 0.24
+        assert window(2600, 3000, "accepted") < 0.05
+        # Second (small) burst leaves the two highest subnets ~unused.
+        assert window(2100, 2500, "subnet3") < 0.1
+
+
+class TestFig13Config:
+    def test_ir_config_has_threshold(self):
+        config = ir_config(0.12)
+        assert config.congestion.injection_rate_threshold == 0.12
+        assert not config.gating.enabled
+
+
+class TestConfigSets:
+    def test_fig08_has_six_configs(self):
+        configs = fig08_configs()
+        assert len(configs) == 6
+        assert sum(c.gating.enabled for c in configs) == 3
+        rr = [c for c in configs if c.selection_policy == "round_robin"]
+        assert len(rr) == 1 and not rr[0].gating.enabled
+
+    def test_fig10_has_four_configs(self):
+        assert len(fig10_configs()) == 4
+
+    def test_fig11_variant_set(self):
+        variants = fig11_variants()
+        assert set(variants) == {
+            "RR", "BFA", "Delay", "BFM", "BFM-local", "IQOcc-local",
+        }
+        assert not variants["BFM-local"].congestion.use_regional
+        assert variants["RR"].selection_policy == "round_robin"
+
+
+class TestTinyRuns:
+    """Each driver runs end-to-end at tiny scale with sane outputs."""
+
+    def test_fig02(self):
+        result = run_fig02(scale=TINY)
+        heavy = result.select(workload="Heavy")
+        assert heavy[0]["config"] == "1NT-128b"
+        assert heavy[0]["normalized_perf"] < heavy[1]["normalized_perf"]
+
+    def test_fig06(self):
+        result = run_fig06(scale=0.25, subnet_counts=(1, 4))
+        assert result.rows[0]["flits_per_packet"] == 1
+        assert result.rows[1]["flits_per_packet"] == 4
+        assert (
+            result.rows[1]["low_load_latency"]
+            > result.rows[0]["low_load_latency"]
+        )
+
+    def test_fig10_point(self):
+        phases = synthetic_phases(0.2)
+        from repro.noc.config import NocConfig
+
+        row = run_synthetic_point(
+            NocConfig.multi_noc(4, power_gating=True), "uniform", 0.03,
+            phases,
+        )
+        assert row["csc_pct"] > 40
+        assert row["power_w"] > 0
+
+    def test_fig14(self):
+        result = run_fig14(scale=0.25, loads=(0.03,))
+        single = result.select(config="1NT-256b-PG")[0]
+        multi = result.select(config="2NT-128b-PG")[0]
+        assert multi["csc_pct"] > single["csc_pct"]
+
+    @pytest.mark.slow
+    def test_fig08_and_fig09_and_headline(self):
+        result = run_fig08(scale=TINY)
+        summary = headline_summary(result)
+        assert summary["power_saving_pct"] > 20
+        csc = run_fig09(fig08_result=result)
+        assert csc.rows, "fig09 must extract PG rows"
+
+    @pytest.mark.slow
+    def test_fig11_subset(self):
+        result = run_fig11(
+            scale=0.15,
+            loads=(0.05, 0.3),
+            patterns=("uniform",),
+            variants=("RR", "BFM"),
+        )
+        bfm_low = result.select(variant="BFM", load=0.05)[0]
+        rr_low = result.select(variant="RR", load=0.05)[0]
+        assert bfm_low["csc_pct"] > rr_low["csc_pct"]
+
+    @pytest.mark.slow
+    def test_fig13_subset(self):
+        result = run_fig13(
+            scale=0.15,
+            thresholds=(0.20,),
+            loads=(0.1,),
+            patterns=("uniform",),
+        )
+        assert result.rows[0]["latency"] > 0
+
+
+class TestRunner:
+    def test_registry_complete(self):
+        paper = {
+            "fig02", "table02", "fig06", "fig07", "fig08", "fig09",
+            "fig10", "fig11", "fig12", "fig13", "fig14",
+        }
+        assert paper <= set(EXPERIMENTS)
+        ablations = {n for n in EXPERIMENTS if n.startswith("abl_")}
+        assert len(ablations) >= 6
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("fig99")
+
+    def test_run_experiment_dispatch(self):
+        result = run_experiment("table02")
+        assert result.name == "table02"
+
+
+class TestFig10Patterns:
+    """Paper §6.3: 'our conclusions remained the same' for transpose
+    and bit complement — verified at small scale."""
+
+    @pytest.mark.slow
+    @pytest.mark.parametrize("pattern", ["transpose", "bit_complement"])
+    def test_conclusions_hold_on_other_patterns(self, pattern):
+        result = run_fig10(scale=0.2, loads=(0.03,), pattern=pattern)
+        multi_pg = result.select(config="4NT-128b-PG", load=0.03)[0]
+        single_pg = result.select(config="1NT-512b-PG", load=0.03)[0]
+        assert multi_pg["csc_pct"] > single_pg["csc_pct"] + 25
+        assert multi_pg["power_w"] < single_pg["power_w"]

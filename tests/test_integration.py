@@ -1,0 +1,146 @@
+"""Integration tests: the paper's key behaviours at reduced scale.
+
+These drive whole fabrics (and the closed loop) for thousands of
+cycles, asserting the *shape* results Catnap claims rather than exact
+numbers: where Catnap wins, where baselines lose, and how adaptation
+behaves over time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.noc.multinoc import MultiNocFabric
+from repro.noc.simulator import SimulationPhases, run_open_loop
+from repro.traffic.generators import BurstyTrafficSource, SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+PHASES = SimulationPhases(300, 1200, 300)
+
+
+def synth_report(config, load, pattern="uniform", seed=21):
+    fabric = MultiNocFabric(config, seed=seed)
+    source = SyntheticTrafficSource(
+        fabric, make_pattern(pattern, fabric.mesh), load, seed=seed
+    )
+    return run_open_loop(fabric, source, PHASES)
+
+
+class TestCatnapVsBaselines:
+    def test_catnap_csc_beats_round_robin_at_low_load(self):
+        catnap = synth_report(
+            NocConfig.multi_noc(4, power_gating=True), 0.03
+        )
+        rr = synth_report(
+            NocConfig.multi_noc(
+                4, power_gating=True, selection_policy="round_robin"
+            ),
+            0.03,
+        )
+        assert catnap.csc_fraction > 0.5
+        assert rr.csc_fraction < 0.45
+        assert catnap.csc_fraction > rr.csc_fraction + 0.2
+
+    def test_single_noc_pg_exposes_little_csc(self):
+        report = synth_report(NocConfig.single_noc_512(True), 0.03)
+        assert report.csc_fraction < 0.25
+
+    def test_single_noc_pg_pays_latency_at_low_load(self):
+        gated = synth_report(NocConfig.single_noc_512(True), 0.03)
+        plain = synth_report(NocConfig.single_noc_512(), 0.03)
+        assert gated.avg_packet_latency > plain.avg_packet_latency + 3
+
+    def test_catnap_latency_penalty_small_at_low_load(self):
+        gated = synth_report(NocConfig.multi_noc(4, power_gating=True), 0.03)
+        plain = synth_report(
+            NocConfig.multi_noc(4, selection_policy="round_robin"), 0.03
+        )
+        assert gated.avg_packet_latency < plain.avg_packet_latency + 15
+
+
+class TestLoadAdaptation:
+    def test_subnets_open_with_load(self):
+        config = NocConfig.multi_noc(4, power_gating=True)
+        low = synth_report(config, 0.03)
+        high = synth_report(config, 0.32)
+        assert low.subnet_injection_share[0] > 0.9
+        assert high.subnet_injection_share[3] > 0.1
+
+    def test_throughput_unaffected_by_gating_at_saturation(self):
+        plain = synth_report(
+            NocConfig.multi_noc(4, selection_policy="round_robin"), 0.38
+        )
+        gated = synth_report(NocConfig.multi_noc(4, power_gating=True), 0.38)
+        assert gated.throughput_packets == pytest.approx(
+            plain.throughput_packets, rel=0.15
+        )
+
+    def test_csc_decreases_with_load(self):
+        config = NocConfig.multi_noc(4, power_gating=True)
+        csc = [
+            synth_report(config, load).csc_fraction
+            for load in (0.03, 0.15, 0.32)
+        ]
+        assert csc[0] > csc[1] > csc[2]
+
+
+class TestBurstAdaptation:
+    def test_accepted_catches_burst_quickly(self):
+        config = NocConfig.multi_noc(4, power_gating=True)
+        fabric = MultiNocFabric(config, seed=33)
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.01), (500, 0.30)],
+            seed=33,
+        )
+        received_at = {}
+        while fabric.cycle < 1200:
+            source.step(fabric.cycle)
+            fabric.step()
+            received_at[fabric.cycle] = fabric.stats.packets_received
+        nodes = fabric.mesh.num_nodes
+        # Accepted throughput over cycles 800-1200 (after ramp-up).
+        late = (received_at[1199] - received_at[800]) / (399 * nodes)
+        assert late > 0.24, "network must absorb the burst"
+
+    def test_higher_subnets_power_gate_again_after_burst(self):
+        config = NocConfig.multi_noc(4, power_gating=True)
+        fabric = MultiNocFabric(config, seed=33)
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.30), (600, 0.01)],
+            seed=33,
+        )
+        while fabric.cycle < 1600:
+            source.step(fabric.cycle)
+            fabric.step()
+        from repro.noc.router import PowerState
+
+        sleeping = sum(
+            1
+            for router in fabric.subnets[3].routers
+            if router.power_state == PowerState.SLEEP
+        )
+        assert sleeping > fabric.mesh.num_nodes * 0.7
+
+
+class TestRegionalVsLocal:
+    def test_regional_detection_helps_transpose(self):
+        """BFM-regional should not lose to BFM-local on transpose."""
+        from dataclasses import replace
+        from repro.noc.config import CongestionConfig
+
+        base = NocConfig.multi_noc(4, power_gating=True)
+        local_cfg = replace(
+            base,
+            congestion=replace(CongestionConfig(), use_regional=False),
+        )
+        regional = synth_report(base, 0.20, pattern="transpose")
+        local = synth_report(local_cfg, 0.20, pattern="transpose")
+        assert (
+            regional.avg_packet_latency
+            <= local.avg_packet_latency * 1.10
+        )

@@ -1,0 +1,79 @@
+"""Tests for memory controllers and their placement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.topology import ConcentratedMesh
+from repro.system.memory import (
+    MemoryController,
+    MemorySystem,
+    place_memory_controllers,
+)
+
+
+class TestMemoryController:
+    def test_unloaded_access_is_dram_latency(self):
+        mc = MemoryController(node=0)
+        assert mc.access(100) == 180
+
+    def test_queueing_under_back_to_back_requests(self):
+        mc = MemoryController(node=0)
+        first = mc.access(0)
+        second = mc.access(0)
+        third = mc.access(0)
+        assert first == 80
+        assert second == 88  # 8-cycle service interval
+        assert third == 96
+
+    def test_no_queueing_when_spaced(self):
+        mc = MemoryController(node=0)
+        assert mc.access(0) == 80
+        assert mc.access(50) == 130
+
+    def test_requests_served_counter(self):
+        mc = MemoryController(node=0)
+        for cycle in range(5):
+            mc.access(cycle)
+        assert mc.requests_served == 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryController(0, dram_latency=0)
+
+
+class TestPlacement:
+    def test_eight_controllers_on_edges(self):
+        mesh = ConcentratedMesh(8, 8)
+        nodes = place_memory_controllers(mesh, 8)
+        assert len(nodes) == 8
+        assert len(set(nodes)) == 8
+        for node in nodes:
+            _, y = mesh.coordinates(node)
+            assert y in (0, 7), "MCs sit on top/bottom rows"
+
+    def test_split_between_rows(self):
+        mesh = ConcentratedMesh(8, 8)
+        nodes = place_memory_controllers(mesh, 8)
+        top = [n for n in nodes if mesh.coordinates(n)[1] == 0]
+        assert len(top) == 4
+
+    def test_small_mesh(self):
+        mesh = ConcentratedMesh(4, 4)
+        nodes = place_memory_controllers(mesh, 4)
+        assert len(set(nodes)) == 4
+
+
+class TestMemorySystem:
+    def test_controller_for_is_stable(self):
+        system = MemorySystem(ConcentratedMesh(8, 8))
+        assert system.controller_for(12345) is system.controller_for(12345)
+
+    def test_interleaving_covers_all(self):
+        system = MemorySystem(ConcentratedMesh(8, 8))
+        hit = {id(system.controller_for(h)) for h in range(64)}
+        assert len(hit) == 8
+
+    def test_nodes_property(self):
+        system = MemorySystem(ConcentratedMesh(8, 8))
+        assert len(system.nodes) == 8

@@ -1,0 +1,109 @@
+"""Coverage for smaller public surfaces: env scaling, cache config,
+report aggregation, chart selection."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import gated_config, small_fabric
+
+from repro.experiments.common import (
+    ExperimentResult,
+    env_scale,
+    synthetic_phases,
+)
+from repro.noc.flit import Packet
+from repro.noc.multinoc import MultiNocFabric
+from repro.system.cache import TABLE1_CACHES, CacheConfig
+
+
+class TestEnvScale:
+    def test_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert env_scale() == 1.0
+        assert env_scale(0.5) == 0.5
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.25")
+        assert env_scale() == 0.25
+
+    def test_rejects_non_positive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0")
+        with pytest.raises(ValueError):
+            env_scale()
+
+
+class TestSyntheticPhases:
+    def test_scaling_applies_to_all_phases(self):
+        full = synthetic_phases(1.0)
+        half = synthetic_phases(0.5)
+        assert half.warmup == full.warmup // 2
+        assert half.measure == full.measure // 2
+
+
+class TestCacheConfig:
+    def test_table1_values(self):
+        assert TABLE1_CACHES.l1_size_kb == 32
+        assert TABLE1_CACHES.l2_size_kb == 256
+        assert TABLE1_CACHES.l2_ways == 16
+        assert TABLE1_CACHES.block_bytes == 64
+
+    def test_coherence_params_mapping(self):
+        config = CacheConfig(l2_hit_rate=0.5, l2_latency=9)
+        params = config.coherence_params()
+        assert params.l2_hit_rate == 0.5
+        assert params.l2_latency == 9
+        assert params.l1_latency == config.l1_latency
+
+
+class TestFabricReportAggregation:
+    def test_csc_fraction_sums_subnets(self):
+        fabric = MultiNocFabric(gated_config(), seed=2)
+        for _ in range(120):
+            fabric.step()
+        report = fabric.report()
+        # Subnet 1 sleeps, subnet 0 stays active: aggregate CSC must be
+        # strictly between the two per-subnet fractions.
+        s0 = report.gating[0].csc_fraction()
+        s1 = report.gating[1].csc_fraction()
+        assert s0 == 0.0 and s1 > 0.5
+        assert s0 < report.csc_fraction < s1
+
+
+class TestExperimentResultChart:
+    def test_chart_with_criteria_filters(self):
+        result = ExperimentResult(
+            "n", "t",
+            rows=[
+                {"x": 1, "y": 5, "g": "a", "p": "u"},
+                {"x": 2, "y": 9, "g": "a", "p": "u"},
+                {"x": 1, "y": 100, "g": "a", "p": "t"},
+            ],
+        )
+        chart = result.to_chart("x", "y", "g", p="u")
+        assert "y: [5 .. 9]" in chart  # the p="t" row is filtered out
+
+    def test_chart_no_match(self):
+        result = ExperimentResult("n", "t", rows=[{"x": 1, "y": 2, "g": 1}])
+        assert "no rows" in result.to_chart("x", "y", "g", missing=True)
+
+
+class TestIdleNiFastPath:
+    def test_idle_ni_does_not_inject(self):
+        fabric = small_fabric()
+        for _ in range(50):
+            fabric.step()
+        assert all(
+            network.counters.flits_injected == 0
+            for network in fabric.subnets
+        )
+
+    def test_wake_request_counter(self):
+        fabric = MultiNocFabric(gated_config(), seed=2)
+        for _ in range(30):
+            fabric.step()
+        fabric.offer(Packet(src=0, dst=15, size_bits=512))
+        assert fabric.drain()
+        # Catnap keeps subnet 0 awake; a single low-load packet should
+        # not have needed any wakeups.
+        assert fabric.gating.stats[0].wake_requests == 0

@@ -1,0 +1,117 @@
+"""Tests for the congestion monitor (LCS + RCS plumbing)."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from tests.conftest import small_config
+
+from repro.core.monitor import CongestionMonitor
+from repro.noc.config import CongestionConfig
+from repro.noc.flit import Flit, Packet
+from repro.noc.multinoc import MultiNocFabric
+from repro.noc.topology import Port
+
+
+def fill_router(network, node, flits):
+    """Stuff a router's east input port with waiting flits."""
+    router = network.routers[node]
+    for i in range(flits):
+        packet = Packet(src=node, dst=node, size_bits=128)
+        flit = Flit(packet, True, True, 0)
+        flit.route = Port.LOCAL
+        router.ports[Port.EAST].push(i % 4, flit)
+        router.buffered_flits += 1
+        network.flits_in_network += 1
+
+
+class TestLcs:
+    def test_lcs_set_when_bfm_exceeds_threshold(self):
+        fabric = MultiNocFabric(small_config(), seed=1)
+        fill_router(fabric.subnets[0], 5, 12)
+        fabric.monitor.update(0, fabric.subnets, fabric.nis)
+        assert fabric.monitor.lcs[0][5]
+        assert not fabric.monitor.lcs[1][5]
+
+    def test_lcs_clear_when_empty(self):
+        fabric = MultiNocFabric(small_config(), seed=1)
+        fabric.monitor.update(0, fabric.subnets, fabric.nis)
+        assert not any(fabric.monitor.lcs[0])
+
+
+class TestIsCongested:
+    def test_regional_bit_spreads_to_region(self):
+        fabric = MultiNocFabric(small_config(), seed=1)
+        monitor = fabric.monitor
+        hot = 0  # region 0 on the 4x4 mesh
+        fill_router(fabric.subnets[0], hot, 12)
+        monitor.update(0, fabric.subnets, fabric.nis)  # RCS boundary
+        same_region = fabric.mesh.region_nodes(0)
+        for node in same_region:
+            assert monitor.is_congested(node, 0)
+        other_region = fabric.mesh.region_nodes(3)
+        for node in other_region:
+            assert not monitor.is_congested(node, 0)
+
+    def test_local_only_mode_stays_local(self):
+        config = replace(
+            small_config(),
+            congestion=replace(CongestionConfig(), use_regional=False),
+        )
+        fabric = MultiNocFabric(config, seed=1)
+        monitor = fabric.monitor
+        fill_router(fabric.subnets[0], 0, 12)
+        monitor.update(0, fabric.subnets, fabric.nis)
+        assert monitor.is_congested(0, 0)
+        neighbors = [n for n in fabric.mesh.region_nodes(0) if n != 0]
+        assert not any(monitor.is_congested(n, 0) for n in neighbors)
+
+
+class TestGatingStatus:
+    def test_uses_rcs_when_regional(self):
+        fabric = MultiNocFabric(small_config(), seed=1)
+        monitor = fabric.monitor
+        fill_router(fabric.subnets[0], 0, 12)
+        monitor.update(0, fabric.subnets, fabric.nis)
+        region0 = fabric.mesh.region_nodes(0)
+        assert all(monitor.gating_status(n, 0) for n in region0)
+
+    def test_uses_lcs_when_local(self):
+        config = replace(
+            small_config(),
+            congestion=replace(CongestionConfig(), use_regional=False),
+        )
+        fabric = MultiNocFabric(config, seed=1)
+        monitor = fabric.monitor
+        fill_router(fabric.subnets[0], 0, 12)
+        monitor.update(0, fabric.subnets, fabric.nis)
+        assert monitor.gating_status(0, 0)
+        assert not monitor.gating_status(1, 0)
+
+
+class TestIdleFastPath:
+    def test_latched_congestion_decays_after_traffic_stops(self):
+        """The idle-subnet skip must not freeze a latched status."""
+        fabric = MultiNocFabric(small_config(), seed=1)
+        monitor = fabric.monitor
+        network = fabric.subnets[0]
+        fill_router(network, 3, 12)
+        monitor.update(0, fabric.subnets, fabric.nis)
+        assert monitor.lcs[0][3]
+        # Drain the router manually and tick past hold + RCS period.
+        router = network.routers[3]
+        for port in router.ports:
+            for vc in port.vcs:
+                vc.fifo.clear()
+            port.occupancy = 0
+        router.buffered_flits = 0
+        for cycle in range(1, 30):
+            monitor.update(cycle, fabric.subnets, fabric.nis)
+        assert not monitor.lcs[0][3]
+        assert not monitor.is_congested(3, 0)
+
+    def test_congested_fraction(self):
+        fabric = MultiNocFabric(small_config(), seed=1)
+        fill_router(fabric.subnets[0], 0, 12)
+        fabric.monitor.update(0, fabric.subnets, fabric.nis)
+        assert fabric.monitor.congested_fraction(0) == 1 / 16

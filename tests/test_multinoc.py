@@ -1,0 +1,142 @@
+"""End-to-end fabric tests: delivery, conservation, reporting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import gated_config, small_config, small_fabric
+
+from repro.noc.flit import MessageClass, Packet
+from repro.noc.multinoc import MultiNocFabric
+
+
+class TestDelivery:
+    def test_every_packet_delivered(self, fabric):
+        received = []
+        fabric.packet_sink = lambda p, c: received.append(p.packet_id)
+        packets = []
+        for src in range(fabric.mesh.num_nodes):
+            for dst in (0, 5, 15):
+                if dst == src:
+                    continue
+                packet = Packet(src=src, dst=dst, size_bits=512)
+                fabric.offer(packet)
+                packets.append(packet)
+        assert fabric.drain()
+        assert sorted(received) == sorted(p.packet_id for p in packets)
+
+    def test_offer_from_tile_maps_to_nodes(self, fabric):
+        packet = fabric.offer_from_tile(0, 15, 512, MessageClass.REQUEST)
+        assert packet.src == 0
+        assert packet.dst == 3  # tile 15 -> node 3 (4 tiles/node)
+        assert fabric.drain()
+        assert packet.received_cycle >= 0
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.data())
+    def test_conservation_random_traffic(self, data):
+        """Property: offered == received after drain, any traffic set."""
+        fabric = small_fabric(seed=data.draw(st.integers(0, 1000)))
+        n = fabric.mesh.num_nodes
+        pairs = data.draw(
+            st.lists(
+                st.tuples(
+                    st.integers(0, n - 1),
+                    st.integers(0, n - 1),
+                    st.sampled_from([72, 128, 512, 584]),
+                ),
+                max_size=40,
+            )
+        )
+        offered = 0
+        for src, dst, bits in pairs:
+            if src == dst:
+                continue
+            fabric.offer(Packet(src=src, dst=dst, size_bits=bits))
+            offered += 1
+        assert fabric.drain()
+        assert fabric.stats.packets_received == offered
+
+    def test_conservation_with_power_gating(self):
+        fabric = MultiNocFabric(gated_config(), seed=9)
+        for src in range(16):
+            for dst in range(16):
+                if src != dst:
+                    fabric.offer(Packet(src=src, dst=dst, size_bits=512))
+        assert fabric.drain()
+        assert fabric.stats.packets_received == 16 * 15
+
+
+class TestSubnetUsage:
+    def test_catnap_uses_subnet0_at_low_load(self):
+        fabric = small_fabric()
+        for i in range(10):
+            fabric.offer(Packet(src=0, dst=10, size_bits=72))
+            for _ in range(20):
+                fabric.step()
+        shares = fabric.subnet_injection_share()
+        assert shares[0] > 0.9
+
+    def test_round_robin_spreads_evenly(self):
+        fabric = small_fabric(selection_policy="round_robin")
+        for i in range(40):
+            fabric.offer(Packet(src=i % 16, dst=(i + 5) % 16, size_bits=72))
+        assert fabric.drain()
+        shares = fabric.subnet_injection_share()
+        assert shares[0] == pytest.approx(0.5, abs=0.1)
+
+    def test_share_empty_fabric(self, fabric):
+        assert fabric.subnet_injection_share() == [0.0, 0.0]
+
+
+class TestReport:
+    def test_report_shape(self, fabric):
+        fabric.offer(Packet(src=0, dst=3, size_bits=512))
+        fabric.stats.begin_measurement(0)
+        assert fabric.drain()
+        fabric.stats.end_measurement(fabric.cycle)
+        report = fabric.report()
+        assert report.cycles == fabric.cycle
+        assert len(report.activity) == 2
+        assert len(report.gating) == 2
+        assert report.packets_received == 1
+        assert report.avg_packet_latency > 0
+
+    def test_report_csc_zero_without_gating(self, fabric):
+        fabric.run(20)
+        assert fabric.report().csc_fraction == 0.0
+
+
+class TestDeterminism:
+    def test_same_seed_same_outcome(self):
+        def run(seed):
+            fabric = small_fabric(seed=seed)
+            rng_packets = [
+                (i % 16, (i * 7 + 3) % 16) for i in range(50)
+            ]
+            for src, dst in rng_packets:
+                if src != dst:
+                    fabric.offer(Packet(src=src, dst=dst, size_bits=512))
+            assert fabric.drain()
+            return (
+                fabric.cycle,
+                fabric.subnets[0].counters.link_traversals,
+                fabric.subnets[1].counters.link_traversals,
+            )
+
+        assert run(7) == run(7)
+
+    def test_different_policies_differ(self):
+        """Round-robin and Catnap produce different subnet usage."""
+        def shares(policy):
+            fabric = small_fabric(selection_policy=policy)
+            for i in range(60):
+                fabric.offer(
+                    Packet(src=i % 16, dst=(i + 3) % 16, size_bits=512)
+                )
+            assert fabric.drain()
+            return fabric.subnet_injection_share()
+
+        assert shares("catnap")[0] > shares("round_robin")[0]

@@ -1,0 +1,141 @@
+"""Tests for subnet-selection policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.policies import (
+    CatnapPolicy,
+    RandomPolicy,
+    RoundRobinPolicy,
+    make_policy,
+)
+from repro.util.rng import DeterministicRng
+
+
+class FakeMonitor:
+    """Congestion monitor stub with a settable congested set."""
+
+    def __init__(self, congested=()):
+        self.congested = set(congested)  # (node, subnet) pairs
+
+    def is_congested(self, node, subnet):
+        return (node, subnet) in self.congested
+
+
+class TestCatnapPolicy:
+    def test_prefers_subnet_zero_when_clear(self):
+        policy = CatnapPolicy(4, FakeMonitor(), num_nodes=4)
+        assert all(policy.select(0, cycle) == 0 for cycle in range(10))
+
+    def test_escalates_past_congested_subnets(self):
+        monitor = FakeMonitor({(0, 0), (0, 1)})
+        policy = CatnapPolicy(4, monitor, num_nodes=4)
+        assert policy.select(0, 0) == 2
+
+    def test_congestion_is_per_node(self):
+        monitor = FakeMonitor({(0, 0)})
+        policy = CatnapPolicy(4, monitor, num_nodes=4)
+        assert policy.select(0, 0) == 1
+        assert policy.select(1, 0) == 0
+
+    def test_round_robin_when_all_congested(self):
+        monitor = FakeMonitor({(0, s) for s in range(3)})
+        policy = CatnapPolicy(3, monitor, num_nodes=1)
+        picks = [policy.select(0, cycle) for cycle in range(6)]
+        assert picks == [0, 1, 2, 0, 1, 2]
+
+    def test_deescalates_when_congestion_clears(self):
+        monitor = FakeMonitor({(0, 0)})
+        policy = CatnapPolicy(2, monitor, num_nodes=1)
+        assert policy.select(0, 0) == 1
+        monitor.congested.clear()
+        assert policy.select(0, 1) == 0
+
+
+class TestRoundRobinPolicy:
+    def test_cycles_through_subnets(self):
+        policy = RoundRobinPolicy(4, num_nodes=2)
+        assert [policy.select(0, c) for c in range(8)] == [
+            0, 1, 2, 3, 0, 1, 2, 3,
+        ]
+
+    def test_counters_per_node(self):
+        policy = RoundRobinPolicy(4, num_nodes=2)
+        policy.select(0, 0)
+        assert policy.select(1, 0) == 0
+
+
+class TestRandomPolicy:
+    def test_in_range_and_covers_all(self):
+        policy = RandomPolicy(4, DeterministicRng(1))
+        picks = {policy.select(0, c) for c in range(200)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_deterministic_given_seed(self):
+        a = RandomPolicy(4, DeterministicRng(9))
+        b = RandomPolicy(4, DeterministicRng(9))
+        assert [a.select(0, c) for c in range(20)] == [
+            b.select(0, c) for c in range(20)
+        ]
+
+
+class TestMakePolicy:
+    def test_ir_maps_to_catnap(self):
+        policy = make_policy(
+            "ir", 4, 4, FakeMonitor(), DeterministicRng(1)
+        )
+        assert isinstance(policy, CatnapPolicy)
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("bogus", 4, 4, FakeMonitor(), DeterministicRng(1))
+
+    def test_rejects_zero_subnets(self):
+        with pytest.raises(ValueError):
+            RoundRobinPolicy(0, 4)
+
+
+class TestClassPartitionPolicy:
+    def _packet(self, mc):
+        from repro.noc.flit import Packet
+
+        return Packet(src=0, dst=1, size_bits=72, message_class=mc)
+
+    def test_requests_use_lower_half(self):
+        from repro.core.policies import ClassPartitionPolicy
+        from repro.noc.flit import MessageClass
+
+        policy = ClassPartitionPolicy(4, num_nodes=2)
+        picks = {
+            policy.select(0, c, self._packet(MessageClass.REQUEST))
+            for c in range(8)
+        }
+        assert picks <= {0, 1}
+
+    def test_responses_use_upper_half(self):
+        from repro.core.policies import ClassPartitionPolicy
+        from repro.noc.flit import MessageClass
+
+        policy = ClassPartitionPolicy(4, num_nodes=2)
+        picks = {
+            policy.select(0, c, self._packet(MessageClass.RESPONSE))
+            for c in range(8)
+        }
+        assert picks <= {2, 3}
+
+    def test_no_packet_falls_back_to_all(self):
+        from repro.core.policies import ClassPartitionPolicy
+
+        policy = ClassPartitionPolicy(4, num_nodes=1)
+        picks = {policy.select(0, c) for c in range(8)}
+        assert picks == {0, 1, 2, 3}
+
+    def test_make_policy_builds_it(self):
+        from repro.core.policies import ClassPartitionPolicy, make_policy
+        from repro.util.rng import DeterministicRng
+
+        policy = make_policy(
+            "class_partition", 4, 4, FakeMonitor(), DeterministicRng(1)
+        )
+        assert isinstance(policy, ClassPartitionPolicy)

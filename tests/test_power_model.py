@@ -1,0 +1,169 @@
+"""Tests for the Orion-2-style power model."""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+
+from tests.conftest import small_fabric
+
+from repro.noc.config import NocConfig
+from repro.noc.flit import Packet
+from repro.power.network_power import (
+    COMPONENT_NAMES,
+    compute_network_power,
+    power_at_port_load,
+)
+from repro.power.router_power import RouterPowerModel
+
+
+class TestRouterPowerModel:
+    def test_crossbar_superlinear_in_width(self):
+        """One wide crossbar beats four narrow ones in power (paper §5.2)."""
+        wide = RouterPowerModel(512, 0.750)
+        narrow = RouterPowerModel(128, 0.750)
+        assert (
+            wide.crossbar_energy_per_flit
+            > 4 * narrow.crossbar_energy_per_flit
+        )
+
+    def test_buffer_linear_in_width(self):
+        wide = RouterPowerModel(512, 0.750)
+        narrow = RouterPowerModel(128, 0.750)
+        assert wide.buffer_energy_per_flit == pytest.approx(
+            4 * narrow.buffer_energy_per_flit
+        )
+
+    def test_dynamic_scales_with_voltage_squared(self):
+        high = RouterPowerModel(128, 0.750)
+        low = RouterPowerModel(128, 0.625)
+        ratio = (0.625 / 0.750) ** 2
+        assert low.crossbar_energy_per_flit == pytest.approx(
+            high.crossbar_energy_per_flit * ratio
+        )
+
+    def test_link_crossover_penalty(self):
+        single = RouterPowerModel(128, 0.625, num_subnets=1)
+        multi = RouterPowerModel(128, 0.625, num_subnets=4)
+        assert multi.link_energy_per_flit == pytest.approx(
+            single.link_energy_per_flit * 1.12
+        )
+
+    def test_leakage_calibration_25w_both_designs(self):
+        """Paper: static ~25W for 1NT-512b@0.75 and 4NT-128b@0.625."""
+        single = RouterPowerModel(512, 0.750)
+        multi = RouterPowerModel(128, 0.625)
+        assert 64 * single.leakage_watts == pytest.approx(25.0, rel=0.02)
+        assert 256 * multi.leakage_watts == pytest.approx(25.0, rel=0.02)
+
+    def test_leakage_shares_sum_to_one(self):
+        model = RouterPowerModel(128, 0.625)
+        total = sum(
+            model.leakage_share(c) for c in model.leakage_components()
+        )
+        assert total == pytest.approx(model.leakage_watts)
+
+
+class TestPowerAtPortLoad:
+    def test_fig07_shape(self):
+        """Single > Multi@0.75 > Multi@0.625 total power."""
+        single = power_at_port_load(NocConfig.single_noc_512())
+        multi_hi = power_at_port_load(
+            replace(NocConfig.multi_noc(4), voltage_v=0.750)
+        )
+        multi_lo = power_at_port_load(NocConfig.multi_noc(4))
+        assert single.total_watts > multi_hi.total_watts
+        assert multi_hi.total_watts > multi_lo.total_watts
+
+    def test_fig07_absolute_band(self):
+        """Stacks land near the paper's ~70 / ~65 / ~48 W."""
+        single = power_at_port_load(NocConfig.single_noc_512())
+        multi_lo = power_at_port_load(NocConfig.multi_noc(4))
+        assert 60 < single.total_watts < 80
+        assert 40 < multi_lo.total_watts < 58
+
+    def test_monotone_in_load(self):
+        config = NocConfig.single_noc_512()
+        p25 = power_at_port_load(config, 0.25)
+        p50 = power_at_port_load(config, 0.50)
+        assert p25.total_watts < p50.total_watts
+        assert p25.static_watts == pytest.approx(p50.static_watts)
+
+    def test_zero_load_is_static_plus_clock(self):
+        config = NocConfig.single_noc_512()
+        idle = power_at_port_load(config, 0.0)
+        assert idle.static_watts == pytest.approx(25.0, rel=0.02)
+        clock = idle.components["clock"].dynamic_watts
+        assert idle.dynamic_watts == pytest.approx(clock)
+
+    def test_rejects_bad_load(self):
+        with pytest.raises(ValueError):
+            power_at_port_load(NocConfig.single_noc_512(), 1.5)
+
+    def test_component_names_complete(self):
+        breakdown = power_at_port_load(NocConfig.single_noc_512())
+        assert set(breakdown.components) == set(COMPONENT_NAMES)
+
+
+class TestComputeNetworkPower:
+    def test_from_simulated_report(self):
+        fabric = small_fabric()
+        for src in range(16):
+            fabric.offer(Packet(src=src, dst=(src + 7) % 16, size_bits=512))
+        assert fabric.drain()
+        breakdown = compute_network_power(fabric.report())
+        assert breakdown.total_watts > 0
+        assert breakdown.static_watts > 0
+        assert breakdown.dynamic_watts > 0
+
+    def test_more_traffic_more_dynamic_power(self):
+        def run(packets):
+            fabric = small_fabric()
+            for i in range(packets):
+                fabric.offer(
+                    Packet(src=i % 16, dst=(i + 5) % 16, size_bits=512)
+                )
+            assert fabric.drain()
+            # Equalize cycle counts for a fair per-second comparison.
+            while fabric.cycle < 2000:
+                fabric.step()
+            return compute_network_power(fabric.report())
+
+        low = run(20)
+        high = run(200)
+        assert high.dynamic_watts > low.dynamic_watts
+        assert high.static_watts == pytest.approx(
+            low.static_watts, rel=0.01
+        )
+
+    def test_gating_reduces_static_power(self):
+        from tests.conftest import gated_config
+        from repro.noc.multinoc import MultiNocFabric
+
+        def run(gated):
+            config = gated_config() if gated else None
+            fabric = (
+                MultiNocFabric(config, seed=4)
+                if gated
+                else small_fabric(seed=4)
+            )
+            fabric.offer(Packet(src=0, dst=15, size_bits=512))
+            assert fabric.drain()
+            while fabric.cycle < 1500:
+                fabric.step()
+            return compute_network_power(fabric.report())
+
+        assert run(True).static_watts < run(False).static_watts
+
+    def test_rejects_zero_cycle_report(self):
+        fabric = small_fabric()
+        with pytest.raises(ValueError):
+            compute_network_power(fabric.report())
+
+    def test_as_row_contains_components(self):
+        breakdown = power_at_port_load(NocConfig.single_noc_512())
+        row = breakdown.as_row()
+        assert row["config"] == "1NT-512b"
+        for name in COMPONENT_NAMES:
+            assert name in row

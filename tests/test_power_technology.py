@@ -1,0 +1,74 @@
+"""Tests for the 32 nm voltage-frequency model (Table 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.power.technology import (
+    max_frequency_ghz,
+    min_voltage_for,
+    table2_rows,
+)
+
+
+class TestTable2:
+    def test_exact_paper_rows(self):
+        rows = {
+            (r.router_width_bits, r.voltage_v): r.frequency_ghz
+            for r in table2_rows()
+        }
+        assert rows[(512, 0.750)] == 2.0
+        assert rows[(512, 0.625)] == 1.4
+        assert rows[(128, 0.750)] == 2.9
+        assert rows[(128, 0.625)] == 2.0
+
+    def test_highlighted_rows_are_2ghz(self):
+        for row in table2_rows():
+            if row.highlighted:
+                assert row.frequency_ghz == 2.0
+
+    def test_four_rows(self):
+        assert len(table2_rows()) == 4
+
+
+class TestFrequencyModel:
+    @given(st.floats(0.45, 1.1), st.floats(0.45, 1.1))
+    def test_monotone_in_voltage(self, v1, v2):
+        if v1 > v2:
+            v1, v2 = v2, v1
+        assert max_frequency_ghz(256, v1) <= max_frequency_ghz(256, v2)
+
+    @given(st.integers(32, 1024), st.integers(32, 1024))
+    def test_decreasing_in_width(self, w1, w2):
+        if w1 > w2:
+            w1, w2 = w2, w1
+        assert max_frequency_ghz(w1, 0.7) >= max_frequency_ghz(w2, 0.7)
+
+    def test_rejects_voltage_below_threshold(self):
+        with pytest.raises(ValueError):
+            max_frequency_ghz(128, 0.2)
+
+
+class TestMinVoltage:
+    def test_narrower_router_needs_less_voltage(self):
+        v128 = min_voltage_for(128, 2.0)
+        v512 = min_voltage_for(512, 2.0)
+        assert v128 < v512
+
+    def test_paper_operating_points(self):
+        assert min_voltage_for(512, 2.0) == pytest.approx(0.750, abs=0.01)
+        assert min_voltage_for(128, 2.0) == pytest.approx(0.625, abs=0.01)
+
+    @given(
+        st.sampled_from([64, 128, 256, 512]),
+        st.floats(0.5, 2.5),
+    )
+    def test_inverse_of_max_frequency(self, width, freq):
+        voltage = min_voltage_for(width, freq)
+        assert max_frequency_ghz(width, voltage) >= freq - 1e-6
+
+    def test_unreachable_frequency_raises(self):
+        with pytest.raises(ValueError):
+            min_voltage_for(1024, 50.0)

@@ -1,0 +1,81 @@
+"""Closed-loop processor tests (64-core scale for speed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.config import NocConfig
+from repro.system.processor import Processor
+from repro.system.workloads import workload
+
+
+def small_processor(num_subnets=2, power_gating=False, wl="Light",
+                    seed=6):
+    config = NocConfig.mesh_64_core(
+        num_subnets=num_subnets, power_gating=power_gating
+    )
+    return Processor(config, workload(wl, num_cores=64), seed=seed)
+
+
+class TestClosedLoop:
+    def test_run_produces_sane_result(self):
+        processor = small_processor()
+        result = processor.run(3000)
+        assert 0 < result.aggregate_ipc <= 2.0 * 64
+        assert result.avg_miss_latency > 0
+        assert result.transactions_completed > 0
+        assert result.cycles == 3000
+
+    def test_heavier_workload_lower_ipc(self):
+        light = small_processor(wl="Light").run(3000)
+        heavy = small_processor(wl="Heavy").run(3000)
+        assert heavy.aggregate_ipc < light.aggregate_ipc
+
+    def test_congestion_feedback_throttles(self):
+        """A narrower network must not out-perform a wider one."""
+        narrow_cfg = NocConfig(
+            mesh_cols=4, mesh_rows=4, num_subnets=1,
+            link_width_bits=64, voltage_v=0.625,
+        )
+        wide_cfg = NocConfig.mesh_64_core(num_subnets=1)
+        spec = workload("Heavy", num_cores=64)
+        narrow = Processor(narrow_cfg, spec, seed=6).run(3000)
+        wide = Processor(wide_cfg, spec, seed=6).run(3000)
+        assert narrow.aggregate_ipc < wide.aggregate_ipc
+        assert narrow.avg_miss_latency > wide.avg_miss_latency
+
+    def test_control_fraction_in_band(self):
+        result = small_processor(wl="Medium-Light").run(3000)
+        assert 0.4 < result.control_fraction < 0.8
+
+    def test_workload_mismatch_rejected(self):
+        config = NocConfig.mesh_64_core()
+        with pytest.raises(ValueError):
+            Processor(config, workload("Light", num_cores=256))
+
+    def test_string_workload_resolved(self):
+        config = NocConfig.mesh_64_core()
+        processor = Processor(config, "Light")
+        assert processor.spec.num_cores == 64
+
+
+class TestGatingInClosedLoop:
+    def test_multi_noc_pg_exposes_csc_on_light(self):
+        result = small_processor(
+            num_subnets=2, power_gating=True, wl="Light"
+        ).run(3000)
+        assert result.fabric_report.csc_fraction > 0.2
+
+    def test_single_noc_pg_exposes_little_csc(self):
+        result = small_processor(
+            num_subnets=1, power_gating=True, wl="Light"
+        ).run(3000)
+        assert result.fabric_report.csc_fraction < 0.15
+
+
+class TestDeterminism:
+    def test_same_seed_reproducible(self):
+        a = small_processor(seed=9).run(2000)
+        b = small_processor(seed=9).run(2000)
+        assert a.aggregate_ipc == b.aggregate_ipc
+        assert a.transactions_completed == b.transactions_completed

@@ -1,0 +1,100 @@
+"""Tests for the regional congestion OR network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.regional import (
+    OR_NETWORK_SWITCH_ENERGY_J,
+    RegionalCongestionNetwork,
+)
+from repro.noc.topology import ConcentratedMesh
+
+
+def make(update_period=6, num_subnets=2):
+    mesh = ConcentratedMesh(8, 8)
+    return mesh, RegionalCongestionNetwork(mesh, num_subnets, update_period)
+
+
+def lcs_with(mesh, num_subnets, congested):
+    lcs = [[False] * mesh.num_nodes for _ in range(num_subnets)]
+    for subnet, node in congested:
+        lcs[subnet][node] = True
+    return lcs
+
+
+class TestOrSemantics:
+    def test_single_congested_node_raises_whole_region(self):
+        mesh, rcs = make()
+        node = mesh.node_at(1, 1)  # region 0
+        rcs.update(0, lcs_with(mesh, 2, [(0, node)]))
+        for other in mesh.region_nodes(0):
+            assert rcs.rcs(0, other)
+        for other in mesh.region_nodes(3):
+            assert not rcs.rcs(0, other)
+
+    def test_subnets_independent(self):
+        mesh, rcs = make()
+        rcs.update(0, lcs_with(mesh, 2, [(1, 0)]))
+        assert not rcs.rcs(0, 0)
+        assert rcs.rcs(1, 0)
+
+    def test_clears_when_no_congestion(self):
+        mesh, rcs = make()
+        rcs.update(0, lcs_with(mesh, 2, [(0, 0)]))
+        assert rcs.rcs(0, 0)
+        rcs.update(6, lcs_with(mesh, 2, []))
+        assert not rcs.rcs(0, 0)
+
+
+class TestUpdatePeriod:
+    def test_latched_between_updates(self):
+        mesh, rcs = make(update_period=6)
+        rcs.update(0, lcs_with(mesh, 2, [(0, 0)]))
+        # Mid-period updates are ignored (propagation delay).
+        rcs.update(3, lcs_with(mesh, 2, []))
+        assert rcs.rcs(0, 0), "bit must hold between update boundaries"
+        rcs.update(6, lcs_with(mesh, 2, []))
+        assert not rcs.rcs(0, 0)
+
+    def test_period_one_updates_every_cycle(self):
+        mesh, rcs = make(update_period=1)
+        rcs.update(0, lcs_with(mesh, 2, [(0, 0)]))
+        rcs.update(1, lcs_with(mesh, 2, []))
+        assert not rcs.rcs(0, 0)
+
+    def test_rejects_zero_period(self):
+        mesh = ConcentratedMesh(4, 4)
+        with pytest.raises(ValueError):
+            RegionalCongestionNetwork(mesh, 1, 0)
+
+
+class TestTransitionsEnergy:
+    def test_transitions_counted_per_bit_change(self):
+        mesh, rcs = make()
+        rcs.update(0, lcs_with(mesh, 2, [(0, 0)]))  # region 0 up: 1
+        rcs.update(6, lcs_with(mesh, 2, [(0, 0)]))  # unchanged
+        rcs.update(12, lcs_with(mesh, 2, []))  # region 0 down: 2
+        assert rcs.transitions == 2
+        assert rcs.switching_energy_joules() == pytest.approx(
+            2 * OR_NETWORK_SWITCH_ENERGY_J
+        )
+
+    def test_no_transitions_when_stable(self):
+        mesh, rcs = make()
+        for cycle in range(0, 60, 6):
+            rcs.update(cycle, lcs_with(mesh, 2, []))
+        assert rcs.transitions == 0
+
+
+class TestRegionLookup:
+    def test_region_of_matches_mesh(self):
+        mesh, rcs = make()
+        for node in range(mesh.num_nodes):
+            assert rcs.region_of(node) == mesh.region_of(node)
+
+    def test_rcs_region_direct(self):
+        mesh, rcs = make()
+        rcs.update(0, lcs_with(mesh, 2, [(0, mesh.node_at(7, 7))]))
+        assert rcs.rcs_region(0, 3)
+        assert not rcs.rcs_region(0, 0)

@@ -1,0 +1,107 @@
+"""Tests for X-Y look-ahead routing."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.routing import XYRouting
+from repro.noc.topology import ConcentratedMesh, Port
+
+
+def make(cols=8, rows=8):
+    return XYRouting(ConcentratedMesh(cols, rows))
+
+
+class TestOutputPort:
+    def test_local_at_destination(self):
+        routing = make()
+        for node in (0, 17, 63):
+            assert routing.output_port(node, node) == Port.LOCAL
+
+    def test_x_corrected_first(self):
+        routing = make()
+        mesh = routing.mesh
+        src = mesh.node_at(0, 0)
+        dst = mesh.node_at(3, 3)
+        assert routing.output_port(src, dst) == Port.EAST
+
+    def test_y_after_x_aligned(self):
+        routing = make()
+        mesh = routing.mesh
+        src = mesh.node_at(3, 0)
+        dst = mesh.node_at(3, 3)
+        assert routing.output_port(src, dst) == Port.SOUTH
+
+    def test_west_and_north(self):
+        routing = make()
+        mesh = routing.mesh
+        assert (
+            routing.output_port(mesh.node_at(5, 5), mesh.node_at(1, 5))
+            == Port.WEST
+        )
+        assert (
+            routing.output_port(mesh.node_at(5, 5), mesh.node_at(5, 1))
+            == Port.NORTH
+        )
+
+
+class TestPath:
+    def test_path_endpoints(self):
+        routing = make()
+        path = routing.path(0, 63)
+        assert path[0] == 0 and path[-1] == 63
+
+    def test_path_is_minimal(self):
+        routing = make()
+        mesh = routing.mesh
+        for src, dst in [(0, 63), (7, 56), (10, 53)]:
+            assert len(routing.path(src, dst)) == (
+                mesh.hop_distance(src, dst) + 1
+            )
+
+    @given(
+        st.integers(2, 8),
+        st.integers(2, 8),
+        st.data(),
+    )
+    def test_path_minimal_and_loop_free(self, cols, rows, data):
+        routing = make(cols, rows)
+        n = cols * rows
+        src = data.draw(st.integers(0, n - 1))
+        dst = data.draw(st.integers(0, n - 1))
+        path = routing.path(src, dst)
+        assert len(set(path)) == len(path), "path revisits a node"
+        assert len(path) == routing.mesh.hop_distance(src, dst) + 1
+
+    @given(st.data())
+    def test_xy_order_no_y_before_x(self, data):
+        routing = make()
+        mesh = routing.mesh
+        src = data.draw(st.integers(0, 63))
+        dst = data.draw(st.integers(0, 63))
+        path = routing.path(src, dst)
+        turned = False
+        for a, b in zip(path, path[1:]):
+            ax, _ = mesh.coordinates(a)
+            bx, _ = mesh.coordinates(b)
+            if ax == bx:
+                turned = True
+            else:
+                assert not turned, "X move after Y move violates XY order"
+
+
+class TestTableExposure:
+    def test_flat_table_matches_method(self):
+        routing = make(4, 4)
+        n = routing.num_nodes
+        for current in range(n):
+            for dst in range(n):
+                assert (
+                    routing.table[current * n + dst]
+                    == routing.output_port(current, dst)
+                )
+
+    def test_next_hop_none_at_destination(self):
+        routing = make(4, 4)
+        assert routing.next_hop(5, 5) is None

@@ -1,0 +1,57 @@
+"""Tests for the catnap-experiments command-line runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    main,
+    render_experiment,
+    run_experiment,
+)
+
+
+class TestMain:
+    def test_list_flag(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for name in PAPER_EXPERIMENTS:
+            assert name in out
+
+    def test_no_args_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig08" in capsys.readouterr().out
+
+    def test_runs_table02(self, capsys):
+        assert main(["table02"]) == 0
+        out = capsys.readouterr().out
+        assert "2.900" in out or "2.9" in out
+
+    def test_out_directory(self, tmp_path, capsys):
+        assert main(["fig07", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "fig07.txt").exists()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["nope"])
+
+
+class TestRenderExperiment:
+    def test_chartless_experiment_is_table_only(self):
+        result = run_experiment("table02")
+        assert render_experiment(result) == result.to_table()
+
+    def test_chart_specs_only_reference_known_experiments(self):
+        from repro.experiments.runner import _CHART_SPECS
+
+        assert set(_CHART_SPECS) <= set(EXPERIMENTS)
+
+
+class TestRegistry:
+    def test_paper_experiments_subset(self):
+        assert set(PAPER_EXPERIMENTS) <= set(EXPERIMENTS)
+
+    def test_extension_registered(self):
+        assert "ext_class_partition" in EXPERIMENTS

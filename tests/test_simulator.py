@@ -1,0 +1,67 @@
+"""Tests for the open-loop simulation driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import small_fabric
+
+from repro.noc.simulator import SimulationPhases, run_open_loop
+from repro.traffic.generators import SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+
+class TestSimulationPhases:
+    def test_total(self):
+        phases = SimulationPhases(100, 200, 50)
+        assert phases.total == 350
+
+    def test_scaled(self):
+        phases = SimulationPhases(100, 200, 50).scaled(0.5)
+        assert (phases.warmup, phases.measure, phases.cooldown) == (
+            50, 100, 25,
+        )
+
+    def test_scaled_floors_at_one(self):
+        phases = SimulationPhases(10, 10, 10).scaled(0.01)
+        assert phases.warmup == 1 and phases.measure == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SimulationPhases(warmup=0)
+        with pytest.raises(ValueError):
+            SimulationPhases(cooldown=-1)
+
+
+class TestRunOpenLoop:
+    def test_report_covers_all_phases(self):
+        fabric = small_fabric()
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.05
+        )
+        phases = SimulationPhases(50, 100, 30)
+        report = run_open_loop(fabric, source, phases)
+        assert report.cycles == phases.total
+        assert fabric.stats.measure_start == 50
+        assert fabric.stats.measure_end == 150
+
+    def test_throughput_tracks_offered_at_low_load(self):
+        fabric = small_fabric()
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.05
+        )
+        report = run_open_loop(
+            fabric, source, SimulationPhases(200, 800, 200)
+        )
+        assert report.throughput_packets == pytest.approx(0.05, rel=0.25)
+
+    def test_latency_reported_positive(self):
+        fabric = small_fabric()
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.02
+        )
+        report = run_open_loop(
+            fabric, source, SimulationPhases(100, 400, 100)
+        )
+        assert report.avg_packet_latency > 5
+        assert report.avg_network_latency <= report.avg_packet_latency

@@ -1,0 +1,83 @@
+"""Tests for measurement-window statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.noc.flit import Packet
+from repro.noc.stats import NetworkStats
+
+
+def packet(created, injected, received, flits=1):
+    p = Packet(
+        src=0, dst=1, size_bits=1,
+        created_cycle=created,
+        injected_cycle=injected,
+        received_cycle=received,
+    )
+    p.num_flits = flits
+    return p
+
+
+class TestWindows:
+    def test_latency_only_counts_window_creations(self):
+        stats = NetworkStats(num_nodes=4)
+        stats.begin_measurement(100)
+        # Created before the window: excluded from latency.
+        early = packet(created=50, injected=51, received=120)
+        stats.record_received(early, 120)
+        inside = packet(created=110, injected=111, received=130)
+        stats.record_received(inside, 130)
+        stats.end_measurement(200)
+        assert stats.window_latency_samples == 1
+        assert stats.average_packet_latency() == 20
+
+    def test_throughput_counts_window_receptions(self):
+        stats = NetworkStats(num_nodes=4)
+        stats.begin_measurement(100)
+        stats.record_received(packet(90, 91, 150), 150)
+        stats.end_measurement(200)
+        stats.record_received(packet(150, 151, 260), 260)  # after close
+        assert stats.window_received == 1
+        assert stats.throughput_packets() == pytest.approx(
+            1 / (4 * 100)
+        )
+
+    def test_flit_throughput(self):
+        stats = NetworkStats(num_nodes=2)
+        stats.begin_measurement(0)
+        stats.record_received(packet(1, 2, 10, flits=4), 10)
+        stats.end_measurement(10)
+        assert stats.throughput_flits() == pytest.approx(4 / 20)
+
+    def test_window_cycles_requires_closed_window(self):
+        stats = NetworkStats(4)
+        with pytest.raises(ValueError):
+            _ = stats.window_cycles
+        stats.begin_measurement(5)
+        with pytest.raises(ValueError):
+            _ = stats.window_cycles
+        stats.end_measurement(25)
+        assert stats.window_cycles == 20
+
+    def test_offered_rate(self):
+        stats = NetworkStats(num_nodes=2)
+        stats.begin_measurement(0)
+        for cycle in (1, 2, 3):
+            stats.record_offered(packet(cycle, -1, -1), cycle)
+        stats.end_measurement(10)
+        assert stats.offered_rate() == pytest.approx(3 / 20)
+
+    def test_zero_samples_latency(self):
+        stats = NetworkStats(4)
+        assert stats.average_packet_latency() == 0.0
+        assert stats.average_network_latency() == 0.0
+
+
+class TestWholeRunCounters:
+    def test_counts_outside_windows(self):
+        stats = NetworkStats(4)
+        stats.record_received(packet(1, 2, 3), 3)
+        assert stats.packets_received == 1
+        assert stats.flits_received == 1
+        assert stats.window_received == 0

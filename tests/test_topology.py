@@ -1,0 +1,144 @@
+"""Tests for the concentrated mesh topology."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.noc.topology import ConcentratedMesh, Port
+
+meshes = st.builds(
+    ConcentratedMesh,
+    cols=st.integers(1, 10),
+    rows=st.integers(1, 10),
+    tiles_per_node=st.integers(1, 4),
+)
+
+
+class TestGeometry:
+    def test_counts(self):
+        mesh = ConcentratedMesh(8, 8, 4)
+        assert mesh.num_nodes == 64
+        assert mesh.num_tiles == 256
+
+    def test_coordinates_roundtrip(self):
+        mesh = ConcentratedMesh(8, 8)
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coordinates(node)
+            assert mesh.node_at(x, y) == node
+
+    def test_node_at_bounds(self):
+        mesh = ConcentratedMesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.node_at(4, 0)
+        with pytest.raises(ValueError):
+            mesh.node_at(0, -1)
+
+    def test_tile_node_mapping(self):
+        mesh = ConcentratedMesh(8, 8, 4)
+        assert mesh.tile_node(0) == 0
+        assert mesh.tile_node(3) == 0
+        assert mesh.tile_node(4) == 1
+        assert mesh.tile_node(255) == 63
+        with pytest.raises(ValueError):
+            mesh.tile_node(256)
+
+    def test_hop_distance(self):
+        mesh = ConcentratedMesh(8, 8)
+        assert mesh.hop_distance(0, 0) == 0
+        assert mesh.hop_distance(0, 7) == 7
+        assert mesh.hop_distance(0, 63) == 14
+
+    @given(meshes, st.data())
+    def test_hop_distance_symmetric(self, mesh, data):
+        a = data.draw(st.integers(0, mesh.num_nodes - 1))
+        b = data.draw(st.integers(0, mesh.num_nodes - 1))
+        assert mesh.hop_distance(a, b) == mesh.hop_distance(b, a)
+
+
+class TestConnectivity:
+    def test_corner_neighbors(self):
+        mesh = ConcentratedMesh(4, 4)
+        assert mesh.neighbors(0) == {Port.EAST: 1, Port.SOUTH: 4}
+
+    def test_center_neighbors(self):
+        mesh = ConcentratedMesh(4, 4)
+        node = mesh.node_at(1, 1)
+        assert mesh.neighbors(node) == {
+            Port.EAST: node + 1,
+            Port.WEST: node - 1,
+            Port.NORTH: node - 4,
+            Port.SOUTH: node + 4,
+        }
+
+    def test_local_port_has_no_neighbor(self):
+        mesh = ConcentratedMesh(4, 4)
+        assert mesh.neighbor(5, Port.LOCAL) is None
+
+    @given(meshes, st.data())
+    def test_neighbors_are_reciprocal(self, mesh, data):
+        node = data.draw(st.integers(0, mesh.num_nodes - 1))
+        for port, other in mesh.neighbors(node).items():
+            back = mesh.neighbors(other)[Port.OPPOSITE[port]]
+            assert back == node
+
+    @given(meshes)
+    def test_neighbor_count_matches_degree(self, mesh):
+        for node in range(mesh.num_nodes):
+            x, y = mesh.coordinates(node)
+            expected = sum(
+                [x > 0, x < mesh.cols - 1, y > 0, y < mesh.rows - 1]
+            )
+            assert len(mesh.neighbors(node)) == expected
+
+
+class TestRegions:
+    def test_8x8_has_four_4x4_regions(self):
+        mesh = ConcentratedMesh(8, 8)
+        assert mesh.num_regions == 4
+        for region in range(4):
+            assert len(mesh.region_nodes(region)) == 16
+
+    def test_region_of_corners(self):
+        mesh = ConcentratedMesh(8, 8)
+        assert mesh.region_of(mesh.node_at(0, 0)) == 0
+        assert mesh.region_of(mesh.node_at(7, 0)) == 1
+        assert mesh.region_of(mesh.node_at(0, 7)) == 2
+        assert mesh.region_of(mesh.node_at(7, 7)) == 3
+
+    def test_region_nodes_partition(self):
+        mesh = ConcentratedMesh(8, 8)
+        seen = set()
+        for region in range(mesh.num_regions):
+            nodes = mesh.region_nodes(region)
+            assert not seen & set(nodes)
+            seen.update(nodes)
+        assert seen == set(range(mesh.num_nodes))
+
+    @given(meshes)
+    def test_regions_partition_any_mesh(self, mesh):
+        counts = [0] * mesh.num_regions
+        for node in range(mesh.num_nodes):
+            region = mesh.region_of(node)
+            assert 0 <= region < mesh.num_regions
+            counts[region] += 1
+        assert sum(counts) == mesh.num_nodes
+
+    def test_region_out_of_range(self):
+        mesh = ConcentratedMesh(4, 4)
+        with pytest.raises(ValueError):
+            mesh.region_nodes(4)
+
+
+class TestValidation:
+    def test_rejects_zero_dims(self):
+        with pytest.raises(ValueError):
+            ConcentratedMesh(0, 4)
+        with pytest.raises(ValueError):
+            ConcentratedMesh(4, 0)
+
+    def test_node_out_of_range(self):
+        mesh = ConcentratedMesh(2, 2)
+        with pytest.raises(ValueError):
+            mesh.coordinates(4)

@@ -1,0 +1,118 @@
+"""Tests for traffic trace record/replay."""
+
+from __future__ import annotations
+
+import pytest
+
+from tests.conftest import small_fabric
+
+from repro.traffic.generators import SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+from repro.traffic.trace import (
+    RecordingSource,
+    TraceRecord,
+    TraceSource,
+    TrafficTrace,
+)
+
+
+class TestTrafficTrace:
+    def test_append_enforces_order(self):
+        trace = TrafficTrace()
+        trace.append(TraceRecord(5, 0, 1, 72, 0))
+        with pytest.raises(ValueError):
+            trace.append(TraceRecord(4, 0, 1, 72, 0))
+
+    def test_duration(self):
+        trace = TrafficTrace()
+        assert trace.duration == 0
+        trace.append(TraceRecord(7, 0, 1, 72, 0))
+        assert trace.duration == 7
+
+    def test_save_load_roundtrip(self, tmp_path):
+        trace = TrafficTrace(
+            [
+                TraceRecord(1, 0, 5, 512, 3),
+                TraceRecord(1, 2, 7, 72, 0),
+                TraceRecord(9, 3, 1, 584, 2),
+            ]
+        )
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        loaded = TrafficTrace.load(path)
+        assert loaded.records == trace.records
+
+    def test_load_skips_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("# header\n\n3 0 1 72 0\n")
+        trace = TrafficTrace.load(path)
+        assert len(trace) == 1
+
+    def test_load_rejects_malformed(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 2 3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            TrafficTrace.load(path)
+
+
+class TestRecordReplay:
+    def test_recording_captures_offers(self):
+        fabric = small_fabric()
+        inner = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.2, seed=4
+        )
+        recorder = RecordingSource(fabric, inner)
+        for cycle in range(50):
+            recorder.step(cycle)
+            fabric.step()
+        assert len(recorder.trace) == inner.packets_generated
+        assert len(recorder.trace) > 0
+
+    def test_replay_reproduces_exact_traffic(self):
+        # Record on one fabric...
+        fabric_a = small_fabric(seed=4)
+        inner = SyntheticTrafficSource(
+            fabric_a, make_pattern("uniform", fabric_a.mesh), 0.2, seed=4
+        )
+        recorder = RecordingSource(fabric_a, inner)
+        for cycle in range(60):
+            recorder.step(cycle)
+            fabric_a.step()
+        # ... replay on a fresh identical fabric.
+        fabric_b = small_fabric(seed=999)  # seed must not matter
+        replay = TraceSource(fabric_b, recorder.trace)
+        for cycle in range(60):
+            replay.step(cycle)
+            fabric_b.step()
+        assert replay.packets_generated == len(recorder.trace)
+        assert (
+            fabric_b.stats.packets_offered
+            == fabric_a.stats.packets_offered
+        )
+
+    def test_replay_exhausted_flag(self):
+        fabric = small_fabric()
+        trace = TrafficTrace([TraceRecord(3, 0, 1, 72, 0)])
+        source = TraceSource(fabric, trace)
+        source.step(2)
+        assert not source.exhausted
+        source.step(3)
+        assert source.exhausted
+
+    def test_replay_on_different_config(self):
+        """A trace recorded once drives any fabric configuration."""
+        fabric_a = small_fabric(seed=4)
+        inner = SyntheticTrafficSource(
+            fabric_a, make_pattern("uniform", fabric_a.mesh), 0.1, seed=4
+        )
+        recorder = RecordingSource(fabric_a, inner)
+        for cycle in range(40):
+            recorder.step(cycle)
+            fabric_a.step()
+        fabric_b = small_fabric(num_subnets=1, link_width_bits=256)
+        replay = TraceSource(fabric_b, recorder.trace)
+        for cycle in range(40):
+            replay.step(cycle)
+            fabric_b.step()
+        assert fabric_b.drain()
+        assert fabric_b.stats.packets_received == len(recorder.trace)

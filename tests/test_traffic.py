@@ -1,0 +1,214 @@
+"""Tests for traffic patterns and generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from tests.conftest import small_fabric
+
+from repro.noc.topology import ConcentratedMesh
+from repro.traffic.generators import (
+    BurstyTrafficSource,
+    SyntheticTrafficSource,
+)
+from repro.traffic.patterns import (
+    PATTERN_NAMES,
+    BitComplementPattern,
+    TransposePattern,
+    UniformRandomPattern,
+    make_pattern,
+)
+from repro.util.rng import DeterministicRng
+
+
+class TestUniformRandom:
+    def test_never_self(self):
+        mesh = ConcentratedMesh(4, 4)
+        pattern = UniformRandomPattern(mesh)
+        rng = DeterministicRng(1)
+        for src in range(mesh.num_nodes):
+            for _ in range(50):
+                assert pattern.destination(src, rng) != src
+
+    def test_covers_all_destinations(self):
+        mesh = ConcentratedMesh(4, 4)
+        pattern = UniformRandomPattern(mesh)
+        rng = DeterministicRng(2)
+        seen = {pattern.destination(0, rng) for _ in range(500)}
+        assert seen == set(range(1, 16))
+
+
+class TestTranspose:
+    def test_mirror_mapping(self):
+        mesh = ConcentratedMesh(8, 8)
+        pattern = TransposePattern(mesh)
+        rng = DeterministicRng(1)
+        src = mesh.node_at(2, 5)
+        assert pattern.destination(src, rng) == mesh.node_at(5, 2)
+
+    def test_diagonal_silent(self):
+        mesh = ConcentratedMesh(8, 8)
+        pattern = TransposePattern(mesh)
+        rng = DeterministicRng(1)
+        assert pattern.destination(mesh.node_at(3, 3), rng) is None
+
+    def test_requires_square_mesh(self):
+        with pytest.raises(ValueError):
+            TransposePattern(ConcentratedMesh(4, 2))
+
+    def test_involution(self):
+        mesh = ConcentratedMesh(8, 8)
+        pattern = TransposePattern(mesh)
+        rng = DeterministicRng(1)
+        for src in range(mesh.num_nodes):
+            dst = pattern.destination(src, rng)
+            if dst is not None:
+                assert pattern.destination(dst, rng) == src
+
+
+class TestBitComplement:
+    def test_mapping(self):
+        mesh = ConcentratedMesh(8, 8)
+        pattern = BitComplementPattern(mesh)
+        rng = DeterministicRng(1)
+        assert pattern.destination(0, rng) == 63
+        assert pattern.destination(63, rng) == 0
+
+    def test_all_cross_center(self):
+        mesh = ConcentratedMesh(8, 8)
+        pattern = BitComplementPattern(mesh)
+        rng = DeterministicRng(1)
+        for src in range(mesh.num_nodes):
+            dst = pattern.destination(src, rng)
+            assert dst is not None
+            assert dst == mesh.num_nodes - 1 - src
+
+
+class TestMakePattern:
+    @pytest.mark.parametrize("name", PATTERN_NAMES)
+    def test_builds_all(self, name):
+        mesh = ConcentratedMesh(4, 4)
+        assert make_pattern(name, mesh) is not None
+
+    def test_unknown_raises(self):
+        with pytest.raises(ValueError):
+            make_pattern("tornado", ConcentratedMesh(4, 4))
+
+
+class TestSyntheticSource:
+    def test_load_statistics(self):
+        fabric = small_fabric()
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.1, seed=3
+        )
+        cycles = 2000
+        for cycle in range(cycles):
+            source.step(cycle)
+            fabric.step()
+        expected = 0.1 * cycles * fabric.mesh.num_nodes
+        assert source.packets_generated == pytest.approx(
+            expected, rel=0.1
+        )
+
+    def test_zero_load_generates_nothing(self):
+        fabric = small_fabric()
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), load=0.0
+        )
+        for cycle in range(100):
+            source.step(cycle)
+        assert source.packets_generated == 0
+
+    def test_load_validation(self):
+        fabric = small_fabric()
+        pattern = make_pattern("uniform", fabric.mesh)
+        with pytest.raises(ValueError):
+            SyntheticTrafficSource(fabric, pattern, load=1.5)
+
+
+class TestBurstySource:
+    def test_schedule_lookup(self):
+        fabric = small_fabric()
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.01), (100, 0.3), (200, 0.05)],
+        )
+        assert source.current_load(0) == 0.01
+        assert source.current_load(99) == 0.01
+        assert source.current_load(100) == 0.3
+        assert source.current_load(150) == 0.3
+        assert source.current_load(500) == 0.05
+
+    def test_requires_sorted_schedule(self):
+        fabric = small_fabric()
+        pattern = make_pattern("uniform", fabric.mesh)
+        with pytest.raises(ValueError):
+            BurstyTrafficSource(fabric, pattern, [(100, 0.1), (0, 0.2)])
+
+    def test_requires_nonempty_schedule(self):
+        fabric = small_fabric()
+        pattern = make_pattern("uniform", fabric.mesh)
+        with pytest.raises(ValueError):
+            BurstyTrafficSource(fabric, pattern, [])
+
+    @given(st.integers(0, 10_000))
+    def test_current_load_total_function(self, cycle):
+        fabric = small_fabric()
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.01), (1000, 0.3), (1500, 0.01)],
+        )
+        assert source.current_load(cycle) in (0.01, 0.3)
+
+
+class TestHotspot:
+    def test_hotspot_bias(self):
+        from repro.traffic.patterns import HotspotPattern
+
+        mesh = ConcentratedMesh(8, 8)
+        pattern = HotspotPattern(mesh, hotspot_fraction=0.5, num_hotspots=2)
+        rng = DeterministicRng(3)
+        hits = sum(
+            1
+            for _ in range(1000)
+            if pattern.destination(0, rng) in pattern.hotspots
+        )
+        # >= hotspot fraction (uniform fallback can also hit them).
+        assert hits > 400
+
+    def test_zero_fraction_is_uniform(self):
+        from repro.traffic.patterns import HotspotPattern
+
+        mesh = ConcentratedMesh(4, 4)
+        pattern = HotspotPattern(mesh, hotspot_fraction=0.0)
+        rng = DeterministicRng(3)
+        seen = {pattern.destination(0, rng) for _ in range(400)}
+        assert len(seen) == 15
+
+    def test_hotspots_are_centre_nodes(self):
+        from repro.traffic.patterns import HotspotPattern
+
+        mesh = ConcentratedMesh(8, 8)
+        pattern = HotspotPattern(mesh, num_hotspots=4)
+        for node in pattern.hotspots:
+            x, y = mesh.coordinates(node)
+            assert 2 <= x <= 5 and 2 <= y <= 5
+
+    def test_validation(self):
+        from repro.traffic.patterns import HotspotPattern
+
+        mesh = ConcentratedMesh(4, 4)
+        with pytest.raises(ValueError):
+            HotspotPattern(mesh, hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotPattern(mesh, num_hotspots=0)
+
+    def test_make_pattern_builds_hotspot(self):
+        mesh = ConcentratedMesh(4, 4)
+        from repro.traffic.patterns import HotspotPattern
+
+        assert isinstance(make_pattern("hotspot", mesh), HotspotPattern)

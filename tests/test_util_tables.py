@@ -1,0 +1,45 @@
+"""Tests for table rendering helpers."""
+
+from __future__ import annotations
+
+from repro.util.tables import format_series, format_table
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_title_included(self):
+        out = format_table([{"a": 1}], title="T")
+        assert out.startswith("T\n")
+
+    def test_columns_subset_and_order(self):
+        out = format_table([{"a": 1, "b": 2}], columns=["b"])
+        lines = out.splitlines()
+        assert lines[0].strip() == "b"
+        assert "a" not in lines[0]
+
+    def test_float_precision(self):
+        out = format_table([{"x": 1.23456}], precision=2)
+        assert "1.23" in out and "1.235" not in out
+
+    def test_alignment_width(self):
+        out = format_table([{"name": "a"}, {"name": "longer"}])
+        lines = out.splitlines()
+        assert len(lines[1]) == len("longer")
+
+    def test_missing_keys_render_empty(self):
+        out = format_table(
+            [{"a": 1, "b": 2}, {"a": 3}], columns=["a", "b"]
+        )
+        assert "3" in out
+
+    def test_bool_rendering(self):
+        out = format_table([{"flag": True}])
+        assert "True" in out
+
+
+class TestFormatSeries:
+    def test_basic(self):
+        out = format_series([1, 2], [3.0, 4.0], "x", "y")
+        assert "x" in out and "y" in out and "4.000" in out

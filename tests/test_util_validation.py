@@ -1,0 +1,43 @@
+"""Tests for validation helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.validation import (
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        check_positive("x", 1)
+        check_positive("x", 0.001)
+
+    @pytest.mark.parametrize("value", [0, -1, -0.5])
+    def test_rejects_non_positive(self, value):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", value)
+
+
+class TestCheckInRange:
+    def test_accepts_bounds(self):
+        check_in_range("x", 0, 0, 1)
+        check_in_range("x", 1, 0, 1)
+
+    def test_rejects_outside(self):
+        with pytest.raises(ValueError):
+            check_in_range("x", 1.01, 0, 1)
+
+
+class TestCheckPowerOfTwo:
+    @pytest.mark.parametrize("value", [1, 2, 4, 64, 1024])
+    def test_accepts_powers(self, value):
+        check_power_of_two("x", value)
+
+    @pytest.mark.parametrize("value", [0, 3, 6, -4])
+    def test_rejects_non_powers(self, value):
+        with pytest.raises(ValueError):
+            check_power_of_two("x", value)

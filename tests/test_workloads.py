@@ -1,0 +1,69 @@
+"""Tests for the Table 3 workload definitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.system.workloads import (
+    BENCHMARK_MPKI,
+    WORKLOAD_MIXES,
+    WORKLOAD_NAMES,
+    workload,
+)
+
+
+class TestTable3Fidelity:
+    @pytest.mark.parametrize(
+        "name, mpki",
+        [
+            ("Light", 3.9),
+            ("Medium-Light", 7.8),
+            ("Medium-Heavy", 11.7),
+            ("Heavy", 39.0),
+        ],
+    )
+    def test_average_mpki_matches_paper(self, name, mpki):
+        assert workload(name).average_mpki == pytest.approx(mpki, abs=0.01)
+
+    def test_eight_benchmarks_per_mix(self):
+        for name in WORKLOAD_NAMES:
+            assert len(WORKLOAD_MIXES[name]) == 8
+
+    def test_all_benchmarks_have_mpki(self):
+        for mix in WORKLOAD_MIXES.values():
+            for benchmark in mix:
+                assert benchmark in BENCHMARK_MPKI
+
+    def test_32_instances_each(self):
+        spec = workload("Light")
+        assert spec.instances_per_benchmark == 32
+
+
+class TestCoreAssignment:
+    def test_blocks_of_consecutive_cores(self):
+        spec = workload("Light")
+        assert spec.core_benchmark(0) == spec.core_benchmark(31)
+        assert spec.core_benchmark(31) != spec.core_benchmark(32)
+
+    def test_core_mpki_lookup(self):
+        spec = workload("Heavy")
+        assert spec.core_mpki(0) == BENCHMARK_MPKI["sjas"]
+
+    def test_out_of_range_core(self):
+        spec = workload("Light")
+        with pytest.raises(ValueError):
+            spec.core_benchmark(256)
+
+    def test_64_core_variant(self):
+        spec = workload("Light", num_cores=64)
+        assert spec.instances_per_benchmark == 8
+
+
+class TestValidation:
+    def test_unknown_workload(self):
+        with pytest.raises(ValueError, match="unknown workload"):
+            workload("Ultra")
+
+    def test_uneven_core_count(self):
+        with pytest.raises(ValueError):
+            workload("Light", num_cores=100)
