@@ -7,6 +7,11 @@ and writes the rendered table to ``benchmarks/out/<name>.txt``.
 Cycle counts are controlled by ``REPRO_BENCH_SCALE`` (default 0.35 —
 quick but statistically meaningful).  Set it to 1.0 to reproduce the
 EXPERIMENTS.md numbers exactly.
+
+The on-disk sweep cache is disabled here so benchmarks always measure
+real simulation time (a warm cache would report near-zero); sweeps
+still parallelize across ``REPRO_JOBS`` workers, which is the shipped
+execution path.
 """
 
 from __future__ import annotations
@@ -15,6 +20,8 @@ import os
 from pathlib import Path
 
 import pytest
+
+os.environ.setdefault("REPRO_NO_CACHE", "1")
 
 OUT_DIR = Path(__file__).parent / "out"
 

@@ -1,4 +1,8 @@
-"""Catnap's contribution: congestion-aware subnet selection + gating."""
+"""Catnap's contribution (paper §3): congestion-aware subnet selection
+(:class:`CatnapPolicy`, §3.2) + the RCS-conditioned power-gating policy
+(:class:`PowerGatingController`, §3.3), both driven by local congestion
+metrics (§3.2.1) aggregated over regions by a 1-bit OR network
+(:class:`RegionalCongestionNetwork`)."""
 
 from repro.core.congestion import (
     BlockingDelayMetric,

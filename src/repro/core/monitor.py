@@ -1,4 +1,4 @@
-"""Per-node, per-subnet congestion monitoring.
+"""Per-node, per-subnet congestion monitoring (paper §3.2, Figure 4).
 
 ``CongestionMonitor`` owns one local metric + hysteresis latch per
 (node, subnet), feeds the regional OR network, and answers the two

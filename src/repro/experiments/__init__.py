@@ -1,12 +1,26 @@
-"""Per-figure experiment drivers (see DESIGN.md's experiment index)."""
+"""Per-figure experiment drivers (see DESIGN.md's experiment index).
 
+Drivers describe their sweeps as :class:`~repro.experiments.runner.PointSpec`
+lists and execute them through :func:`~repro.experiments.runner.run_sweep`
+(parallel workers + on-disk result cache); the CLI lives in
+:mod:`repro.experiments.cli`.
+"""
+
+from repro.experiments.cli import EXPERIMENTS, run_experiment
 from repro.experiments.common import (
     ExperimentResult,
     run_application_point,
     run_synthetic_point,
     synthetic_phases,
 )
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.runner import (
+    PointSpec,
+    ProgressObserver,
+    SweepCache,
+    SweepObserver,
+    SweepStats,
+    run_sweep,
+)
 
 __all__ = [
     "ExperimentResult",
@@ -15,4 +29,10 @@ __all__ = [
     "synthetic_phases",
     "EXPERIMENTS",
     "run_experiment",
+    "PointSpec",
+    "ProgressObserver",
+    "SweepCache",
+    "SweepObserver",
+    "SweepStats",
+    "run_sweep",
 ]

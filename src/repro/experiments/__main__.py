@@ -1,8 +1,8 @@
-"""``python -m repro.experiments`` — the experiment runner CLI."""
+"""``python -m repro.experiments`` — the experiment CLI."""
 
 import sys
 
-from repro.experiments.runner import main
+from repro.experiments.cli import main
 
 if __name__ == "__main__":
     sys.exit(main())

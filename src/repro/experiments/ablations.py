@@ -26,9 +26,9 @@ from dataclasses import replace
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import CongestionConfig, NocConfig, PowerGatingConfig
 
 __all__ = [
@@ -67,11 +67,14 @@ def _sweep(
         columns=[knob, "load", "latency", "throughput", "csc_pct"],
         notes=notes,
     )
-    for value, config in configs:
-        for load in LOADS:
-            row = run_synthetic_point(config, "uniform", load, phases, seed)
-            row[knob] = value
-            result.rows.append(row)
+    specs = [
+        PointSpec.synthetic(
+            config, "uniform", load, phases, seed, **{knob: value}
+        )
+        for value, config in configs
+        for load in LOADS
+    ]
+    result.rows.extend(run_sweep(specs))
     return result
 
 

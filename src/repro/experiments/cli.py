@@ -1,0 +1,240 @@
+"""Command-line entry point: regenerate any paper figure or table.
+
+Usage::
+
+    catnap-experiments --list
+    catnap-experiments fig08 --scale 0.5
+    catnap-experiments all --scale 0.25 --out results/
+    catnap-experiments fig10 --jobs 8 --progress     # parallel sweep
+    catnap-experiments fig10 --no-cache              # force re-simulation
+
+Each experiment prints its table to stdout and, with ``--out``, also
+writes ``<name>.txt`` into the given directory.  Sweep execution is
+delegated to :mod:`repro.experiments.runner`: ``--jobs``/``--no-cache``
+/``--cache-dir`` set the corresponding ``REPRO_JOBS`` /
+``REPRO_NO_CACHE`` / ``REPRO_CACHE_DIR`` environment variables so every
+driver (and anything it spawns) sees the same policy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import runner
+from repro.experiments.ablations import ABLATIONS
+from repro.experiments.ext_specialization import run_ext_class_partition
+from repro.experiments.fig02_bandwidth import run_fig02
+from repro.experiments.fig06_subnet_scaling import run_fig06
+from repro.experiments.fig07_power_breakdown import run_fig07
+from repro.experiments.fig08_applications import (
+    headline_summary,
+    run_fig08,
+)
+from repro.experiments.fig09_csc import run_fig09
+from repro.experiments.fig10_uniform_pg import run_fig10
+from repro.experiments.fig11_congestion_metrics import run_fig11
+from repro.experiments.fig12_bursty import run_fig12
+from repro.experiments.fig13_ir_thresholds import run_fig13
+from repro.experiments.fig14_64core import run_fig14
+from repro.experiments.table02_voltage import run_table02
+
+__all__ = [
+    "EXPERIMENTS",
+    "PAPER_EXPERIMENTS",
+    "run_experiment",
+    "render_experiment",
+    "main",
+]
+
+EXPERIMENTS = {
+    "fig02": run_fig02,
+    "table02": run_table02,
+    "fig06": run_fig06,
+    "fig07": run_fig07,
+    "fig08": run_fig08,
+    "fig09": run_fig09,
+    "fig10": run_fig10,
+    "fig11": run_fig11,
+    "fig12": run_fig12,
+    "fig13": run_fig13,
+    "fig14": run_fig14,
+    "ext_class_partition": run_ext_class_partition,
+    **ABLATIONS,
+}
+
+#: Names run by ``catnap-experiments all`` (the paper's own artifacts);
+#: ablations are opt-in by name because they are extensions.
+PAPER_EXPERIMENTS = (
+    "fig02", "table02", "fig06", "fig07", "fig08", "fig09",
+    "fig10", "fig11", "fig12", "fig13", "fig14",
+)
+
+#: ASCII charts printed after the table: (x, y, group, row filter).
+_CHART_SPECS: dict[str, list[tuple[str, str, str, dict]]] = {
+    "fig10": [
+        ("load", "latency", "config", {}),
+        ("load", "csc_pct", "config", {}),
+    ],
+    "fig11": [
+        ("load", "latency", "variant", {"pattern": "uniform"}),
+        ("load", "latency", "variant", {"pattern": "transpose"}),
+    ],
+    "fig13": [
+        ("load", "latency", "threshold", {"pattern": "uniform"}),
+        ("load", "latency", "threshold", {"pattern": "transpose"}),
+    ],
+    "fig14": [("load", "csc_pct", "config", {})],
+}
+
+
+def render_experiment(result) -> str:
+    """Table plus any ASCII charts for one experiment result."""
+    parts = [result.to_table()]
+    for x, y, group, criteria in _CHART_SPECS.get(result.name, []):
+        parts.append("")
+        parts.append(result.to_chart(x, y, group, **criteria))
+    return "\n".join(parts)
+
+
+def run_experiment(name: str, scale: float = 1.0):
+    """Run one experiment by name and return its result."""
+    if name not in EXPERIMENTS:
+        raise ValueError(
+            f"unknown experiment {name!r}; choose from "
+            f"{sorted(EXPERIMENTS)} or 'all'"
+        )
+    return EXPERIMENTS[name](scale=scale)
+
+
+class _TallyObserver(runner.SweepObserver):
+    """Accumulates hit/miss counts across the sweeps of one experiment,
+    optionally echoing per-point progress lines to stderr."""
+
+    def __init__(self, progress: bool):
+        self.progress = (
+            runner.ProgressObserver() if progress else None
+        )
+        self.reset()
+
+    def reset(self) -> None:
+        self.points = 0
+        self.hits = 0
+        self.misses = 0
+
+    def sweep_started(self, total: int) -> None:
+        if self.progress:
+            self.progress.sweep_started(total)
+
+    def point_finished(self, index, spec, rows, elapsed, cached) -> None:
+        self.points += 1
+        if cached:
+            self.hits += 1
+        else:
+            self.misses += 1
+        if self.progress:
+            self.progress.point_finished(index, spec, rows, elapsed, cached)
+
+    def summary(self) -> str:
+        if not self.points:
+            return ""
+        return (
+            f" — {self.points} points, {self.hits} cached, "
+            f"{self.misses} simulated"
+        )
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(
+        prog="catnap-experiments",
+        description="Regenerate the Catnap paper's figures and tables.",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        default=None,
+        help="experiment name (e.g. fig08) or 'all'",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="cycle-count scale factor (default 1.0)",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="directory for .txt outputs"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list experiment names"
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="sweep worker processes (default: REPRO_JOBS or all cores)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore and do not write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="result-cache directory (default: results/.cache)",
+    )
+    parser.add_argument(
+        "--progress",
+        action="store_true",
+        help="print one line per completed sweep point to stderr",
+    )
+    args = parser.parse_args(argv)
+    if args.list or args.experiment is None:
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+    if args.jobs is not None:
+        if args.jobs < 1:
+            parser.error("--jobs must be >= 1")
+        os.environ["REPRO_JOBS"] = str(args.jobs)
+    if args.no_cache:
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if args.cache_dir is not None:
+        os.environ["REPRO_CACHE_DIR"] = str(args.cache_dir)
+    if args.experiment == "all":
+        names = list(PAPER_EXPERIMENTS)
+    elif args.experiment == "ablations":
+        names = [name for name in EXPERIMENTS if name.startswith("abl_")]
+    else:
+        names = [args.experiment]
+    tally = _TallyObserver(progress=args.progress)
+    runner.set_default_observer(tally)
+    try:
+        for name in names:
+            tally.reset()
+            started = time.time()
+            result = run_experiment(name, args.scale)
+            table = render_experiment(result)
+            elapsed = time.time() - started
+            print(table)
+            print(
+                f"[{name} finished in {elapsed:.1f}s{tally.summary()}]\n"
+            )
+            if name == "fig08":
+                print("Headline:", headline_summary(result), "\n")
+            if args.out is not None:
+                args.out.mkdir(parents=True, exist_ok=True)
+                (args.out / f"{name}.txt").write_text(table + "\n")
+    finally:
+        runner.set_default_observer(None)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -85,7 +85,9 @@ class ExperimentResult:
         """Render ``y`` vs ``x``, one line per distinct ``group`` value.
 
         ``criteria`` pre-filters rows (e.g. ``pattern="uniform"``).
-        Rows of every group must share the same x grid.
+        Rows of every group must share the same x grid; a group missing
+        any x value raises :class:`ValueError` (silently substituting a
+        neighbouring point would plot a fabricated line segment).
         """
         from repro.util.ascii_plot import line_chart
 
@@ -109,7 +111,14 @@ class ExperimentResult:
         series = {}
         for name, points in groups.items():
             lookup = dict(points)
-            series[name] = [lookup.get(xv, points[-1][1]) for xv in xs]
+            missing = [xv for xv in xs if xv not in lookup]
+            if missing:
+                raise ValueError(
+                    f"{self.name}: group {name!r} has no row at "
+                    f"{x}={missing[0]!r}; all groups must share the "
+                    f"same x grid"
+                )
+            series[name] = [lookup[xv] for xv in xs]
         return line_chart(
             xs, series, height=height, width=width,
             title=f"{self.name}: {y} vs {x}",
@@ -188,5 +197,6 @@ def run_application_point(
         "power_w": power.total_watts,
         "dynamic_w": power.dynamic_watts,
         "static_w": power.static_watts,
+        "subnet_share": list(result.fabric_report.subnet_injection_share),
     }
     return row, result, power

@@ -14,10 +14,9 @@ from repro.experiments.common import (
     APPLICATION_CYCLES,
     DEFAULT_SEED,
     ExperimentResult,
-    run_application_point,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
-from repro.system.processor import Processor
 
 __all__ = ["run_ext_class_partition"]
 
@@ -43,28 +42,28 @@ def run_ext_class_partition(
             "specialization concentrates flits on the data subnets"
         ),
     )
-    for workload in workloads:
-        rows = []
-        baseline_ipc = None
-        for policy in POLICIES:
-            config = NocConfig.multi_noc(
+    specs = [
+        PointSpec.application(
+            NocConfig.multi_noc(
                 4, power_gating=True, selection_policy=policy
-            )
-            processor = Processor(config, workload, seed=seed)
-            run = processor.run(cycles)
-            shares = run.fabric_report.subnet_injection_share
+            ),
+            workload,
+            cycles,
+            seed,
+        )
+        for workload in workloads
+        for policy in POLICIES
+    ]
+    all_rows = run_sweep(specs)
+    for start in range(0, len(all_rows), len(POLICIES)):
+        rows = all_rows[start : start + len(POLICIES)]
+        baseline_ipc = None
+        for policy, row in zip(POLICIES, rows):
+            shares = row["subnet_share"]
             positive = [s for s in shares if s > 0] or [1.0]
-            row = {
-                "workload": workload,
-                "policy": policy,
-                "ipc": run.aggregate_ipc,
-                "miss_latency": run.avg_miss_latency,
-                "share_imbalance": max(shares) / min(positive),
-                "csc_pct": 100 * run.fabric_report.csc_fraction,
-            }
+            row["share_imbalance"] = max(shares) / min(positive)
             if policy == "catnap":
-                baseline_ipc = run.aggregate_ipc
-            rows.append(row)
+                baseline_ipc = row["ipc"]
         assert baseline_ipc
         for row in rows:
             row["normalized_perf"] = row["ipc"] / baseline_ipc

@@ -12,11 +12,13 @@ from repro.experiments.common import (
     APPLICATION_CYCLES,
     DEFAULT_SEED,
     ExperimentResult,
-    run_application_point,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
 
 __all__ = ["run_fig02"]
+
+WORKLOADS = ("Light", "Heavy")
 
 
 def run_fig02(
@@ -33,13 +35,16 @@ def run_fig02(
         ],
         notes="paper: Heavy loses ~41% on the 128b network; Light ~none",
     )
-    for workload in ("Light", "Heavy"):
-        rows = []
-        for config in configs:
-            row, _, _ = run_application_point(config, workload, cycles, seed)
-            rows.append(row)
-        baseline_ipc = rows[-1]["ipc"]  # 1NT-512b
-        for row in rows:
+    specs = [
+        PointSpec.application(config, workload, cycles, seed)
+        for workload in WORKLOADS
+        for config in configs
+    ]
+    rows = run_sweep(specs)
+    for start in range(0, len(rows), len(configs)):
+        group = rows[start : start + len(configs)]
+        baseline_ipc = group[-1]["ipc"]  # 1NT-512b
+        for row in group:
             row["normalized_perf"] = row["ipc"] / baseline_ipc
             result.rows.append(row)
     return result

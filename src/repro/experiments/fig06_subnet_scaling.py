@@ -12,9 +12,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
 
 __all__ = ["run_fig06", "SUBNET_COUNTS"]
@@ -47,14 +47,20 @@ def run_fig06(
             "latency rises a few cycles per doubling (serialization)"
         ),
     )
-    for count in subnet_counts:
-        config = NocConfig.multi_noc(
+    configs = [
+        NocConfig.multi_noc(
             num_subnets=count, selection_policy="round_robin"
         )
-        saturated = run_synthetic_point(
-            config, "uniform", SATURATION_LOAD, phases, seed
-        )
-        low = run_synthetic_point(config, "uniform", LOW_LOAD, phases, seed)
+        for count in subnet_counts
+    ]
+    specs = [
+        PointSpec.synthetic(config, "uniform", load, phases, seed)
+        for config in configs
+        for load in (SATURATION_LOAD, LOW_LOAD)
+    ]
+    rows = run_sweep(specs)
+    for i, (count, config) in enumerate(zip(subnet_counts, configs)):
+        saturated, low = rows[2 * i], rows[2 * i + 1]
         result.rows.append(
             {
                 "config": config.name,

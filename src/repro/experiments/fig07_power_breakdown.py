@@ -14,8 +14,9 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
-from repro.power.network_power import COMPONENT_NAMES, power_at_port_load
+from repro.power.network_power import COMPONENT_NAMES
 
 __all__ = ["run_fig07", "fig07_configs"]
 
@@ -44,13 +45,9 @@ def run_fig07(
         ],
         notes="paper stacks: ~70W, ~65W, ~48W",
     )
-    for label, config in fig07_configs():
-        breakdown = power_at_port_load(config, port_load)
-        row: dict = {"label": label}
-        for name in COMPONENT_NAMES:
-            row[name] = breakdown.components[name].total_watts
-        row["dynamic_w"] = breakdown.dynamic_watts
-        row["static_w"] = breakdown.static_watts
-        row["total_w"] = breakdown.total_watts
-        result.rows.append(row)
+    specs = [
+        PointSpec.power(config, port_load, label=label)
+        for label, config in fig07_configs()
+    ]
+    result.rows.extend(run_sweep(specs))
     return result

@@ -17,8 +17,8 @@ from repro.experiments.common import (
     APPLICATION_CYCLES,
     DEFAULT_SEED,
     ExperimentResult,
-    run_application_point,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
 from repro.system.workloads import WORKLOAD_NAMES
 
@@ -57,12 +57,17 @@ def run_fig08(
         ),
     )
     baseline_name = NocConfig.single_noc_512().name
-    for workload in workloads:
-        rows = []
+    configs = fig08_configs()
+    specs = [
+        PointSpec.application(config, workload, cycles, seed)
+        for workload in workloads
+        for config in configs
+    ]
+    all_rows = run_sweep(specs)
+    for start in range(0, len(all_rows), len(configs)):
+        rows = all_rows[start : start + len(configs)]
         baseline_ipc = None
-        for config in fig08_configs():
-            row, _, _ = run_application_point(config, workload, cycles, seed)
-            rows.append(row)
+        for config, row in zip(configs, rows):
             if config.name == baseline_name and not config.gating.enabled:
                 baseline_ipc = row["ipc"]
         assert baseline_ipc, "baseline configuration missing"

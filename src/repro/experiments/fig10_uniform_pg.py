@@ -13,9 +13,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
 
 __all__ = ["run_fig10", "fig10_configs", "DEFAULT_LOADS"]
@@ -57,9 +57,10 @@ def run_fig10(
             "Single-PG 24.1W / 10% CSC"
         ),
     )
-    for config in fig10_configs():
-        for load in loads:
-            result.rows.append(
-                run_synthetic_point(config, pattern, load, phases, seed)
-            )
+    specs = [
+        PointSpec.synthetic(config, pattern, load, phases, seed)
+        for config in fig10_configs()
+        for load in loads
+    ]
+    result.rows.extend(run_sweep(specs))
     return result

@@ -24,9 +24,9 @@ from dataclasses import replace
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import CongestionConfig, NocConfig
 
 __all__ = ["run_fig11", "fig11_variants", "DEFAULT_LOADS", "VARIANT_NAMES"]
@@ -80,13 +80,14 @@ def run_fig11(
             "non-uniform patterns"
         ),
     )
-    for variant in variants:
-        config = all_variants[variant]
-        for pattern in patterns:
-            for load in loads:
-                row = run_synthetic_point(
-                    config, pattern, load, phases, seed
-                )
-                row["variant"] = variant
-                result.rows.append(row)
+    specs = [
+        PointSpec.synthetic(
+            all_variants[variant], pattern, load, phases, seed,
+            variant=variant,
+        )
+        for variant in variants
+        for pattern in patterns
+        for load in loads
+    ]
+    result.rows.extend(run_sweep(specs))
     return result

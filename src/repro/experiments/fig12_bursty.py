@@ -11,10 +11,8 @@ subnets, and the second, smaller burst activates only two subnets.
 from __future__ import annotations
 
 from repro.experiments.common import DEFAULT_SEED, ExperimentResult
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
-from repro.noc.multinoc import MultiNocFabric
-from repro.traffic.generators import BurstyTrafficSource
-from repro.traffic.patterns import make_pattern
 
 __all__ = ["run_fig12", "burst_schedule"]
 
@@ -33,11 +31,6 @@ def run_fig12(
     """Regenerate Figure 12 (time series; ``scale`` ignored — the burst
     schedule is absolute, as in the paper)."""
     config = NocConfig.multi_noc(4, power_gating=True)
-    fabric = MultiNocFabric(config, seed=seed)
-    pattern = make_pattern("uniform", fabric.mesh)
-    source = BurstyTrafficSource(
-        fabric, pattern, burst_schedule(), seed=seed
-    )
     result = ExperimentResult(
         name="fig12",
         title="Bursty traffic: offered vs accepted; subnet utilization",
@@ -50,40 +43,13 @@ def run_fig12(
             "4 subnets; a 0.10 burst activates only 2"
         ),
     )
-    nodes = fabric.mesh.num_nodes
-    last_generated = 0
-    last_received = 0
-    last_per_subnet = [0] * config.num_subnets
-    while fabric.cycle < TOTAL_CYCLES:
-        for _ in range(SAMPLE_PERIOD):
-            source.step(fabric.cycle)
-            fabric.step()
-        generated = source.packets_generated
-        received = fabric.stats.packets_received
-        per_subnet = [
-            sum(ni.injected_per_subnet[s] for ni in fabric.nis)
-            for s in range(config.num_subnets)
-        ]
-        window_injected = sum(per_subnet) - sum(last_per_subnet)
-        shares = [
-            (per_subnet[s] - last_per_subnet[s]) / window_injected
-            if window_injected
-            else 0.0
-            for s in range(config.num_subnets)
-        ]
-        denom = nodes * SAMPLE_PERIOD
-        result.rows.append(
-            {
-                "cycle": fabric.cycle,
-                "offered": (generated - last_generated) / denom,
-                "accepted": (received - last_received) / denom,
-                "subnet0": shares[0],
-                "subnet1": shares[1],
-                "subnet2": shares[2],
-                "subnet3": shares[3],
-            }
-        )
-        last_generated = generated
-        last_received = received
-        last_per_subnet = per_subnet
+    spec = PointSpec.bursty(
+        config,
+        "uniform",
+        tuple(burst_schedule()),
+        sample_period=SAMPLE_PERIOD,
+        total_cycles=TOTAL_CYCLES,
+        seed=seed,
+    )
+    result.rows.extend(run_sweep([spec]))
     return result

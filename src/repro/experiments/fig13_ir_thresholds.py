@@ -18,9 +18,9 @@ from dataclasses import replace
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import CongestionConfig, NocConfig
 
 __all__ = ["run_fig13", "DEFAULT_THRESHOLDS", "DEFAULT_LOADS"]
@@ -60,13 +60,14 @@ def run_fig13(
             "needs <= 0.08"
         ),
     )
-    for pattern in patterns:
-        for threshold in thresholds:
-            config = ir_config(threshold)
-            for load in loads:
-                row = run_synthetic_point(
-                    config, pattern, load, phases, seed
-                )
-                row["threshold"] = threshold
-                result.rows.append(row)
+    specs = [
+        PointSpec.synthetic(
+            ir_config(threshold), pattern, load, phases, seed,
+            threshold=threshold,
+        )
+        for pattern in patterns
+        for threshold in thresholds
+        for load in loads
+    ]
+    result.rows.extend(run_sweep(specs))
     return result

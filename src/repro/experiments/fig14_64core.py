@@ -13,9 +13,9 @@ from __future__ import annotations
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
-    run_synthetic_point,
     synthetic_phases,
 )
+from repro.experiments.runner import PointSpec, run_sweep
 from repro.noc.config import NocConfig
 
 __all__ = ["run_fig14", "DEFAULT_LOADS"]
@@ -40,9 +40,10 @@ def run_fig14(
         columns=["config", "load", "csc_pct", "latency", "throughput"],
         notes="paper at load 0.03: 2NT-128b ~50% CSC vs 1NT-256b ~17%",
     )
-    for config in configs:
-        for load in loads:
-            result.rows.append(
-                run_synthetic_point(config, "uniform", load, phases, seed)
-            )
+    specs = [
+        PointSpec.synthetic(config, "uniform", load, phases, seed)
+        for config in configs
+        for load in loads
+    ]
+    result.rows.extend(run_sweep(specs))
     return result

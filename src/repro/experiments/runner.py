@@ -1,150 +1,620 @@
-"""Command-line entry point: regenerate any paper figure or table.
+"""Sweep-execution layer: point-specs, worker pool, cache, observers.
 
-Usage::
+Every experiment driver describes its sweep as a list of *pure*
+:class:`PointSpec` records (configuration + pattern + load + phases +
+seed — everything a measurement depends on, and nothing else) and hands
+the list to :func:`run_sweep`, which
 
-    catnap-experiments --list
-    catnap-experiments fig08 --scale 0.5
-    catnap-experiments all --scale 0.25 --out results/
+1. resolves each spec against an on-disk :class:`SweepCache` under
+   ``results/.cache/`` (keyed by a content hash of the spec plus
+   :data:`CACHE_SCHEMA_VERSION`, so re-running a figure after an
+   unrelated code change is a cache hit),
+2. fans the remaining points out across a ``multiprocessing`` pool
+   (worker count from ``REPRO_JOBS``, default ``os.cpu_count()``; a
+   deterministic serial path runs at ``REPRO_JOBS=1``), and
+3. reports structured progress/timing records (points done, hit/miss
+   counts, wall-clock per point) through a :class:`SweepObserver`.
 
-Each experiment prints its table to stdout and, with ``--out``, also
-writes ``<name>.txt`` into the given directory.
+Because a spec carries its seed explicitly and every point is executed
+in isolation, serial and parallel runs produce byte-identical rows; the
+returned rows are additionally normalized through a JSON round trip so
+cached and freshly-computed results are indistinguishable.
+
+Environment variables (see ``docs/experiments.md``):
+
+``REPRO_JOBS``
+    Worker count for :func:`run_sweep` (default: all cores).
+``REPRO_NO_CACHE``
+    Any non-empty value other than ``0`` disables the on-disk cache.
+``REPRO_CACHE_DIR``
+    Cache directory (default ``results/.cache``).
 """
 
 from __future__ import annotations
 
-import argparse
-import sys
+import hashlib
+import json
+import multiprocessing
+import os
 import time
+from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
 
-from repro.experiments.ablations import ABLATIONS
-from repro.experiments.ext_specialization import run_ext_class_partition
-from repro.experiments.fig02_bandwidth import run_fig02
-from repro.experiments.fig06_subnet_scaling import run_fig06
-from repro.experiments.fig07_power_breakdown import run_fig07
-from repro.experiments.fig08_applications import (
-    headline_summary,
-    run_fig08,
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    run_application_point,
+    run_synthetic_point,
 )
-from repro.experiments.fig09_csc import run_fig09
-from repro.experiments.fig10_uniform_pg import run_fig10
-from repro.experiments.fig11_congestion_metrics import run_fig11
-from repro.experiments.fig12_bursty import run_fig12
-from repro.experiments.fig13_ir_thresholds import run_fig13
-from repro.experiments.fig14_64core import run_fig14
-from repro.experiments.table02_voltage import run_table02
+from repro.noc.config import SYNTHETIC_PACKET_BITS, NocConfig
+from repro.noc.multinoc import MultiNocFabric
+from repro.noc.simulator import SimulationPhases
+from repro.power.network_power import COMPONENT_NAMES, power_at_port_load
+from repro.power.technology import table2_rows
+from repro.traffic.generators import BurstyTrafficSource
+from repro.traffic.patterns import make_pattern
 
-__all__ = ["EXPERIMENTS", "run_experiment", "main"]
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_DIR",
+    "PointSpec",
+    "SweepCache",
+    "SweepObserver",
+    "SweepStats",
+    "ProgressObserver",
+    "execute_point",
+    "run_sweep",
+    "env_jobs",
+    "default_cache",
+    "set_default_observer",
+]
 
-EXPERIMENTS = {
-    "fig02": run_fig02,
-    "table02": run_table02,
-    "fig06": run_fig06,
-    "fig07": run_fig07,
-    "fig08": run_fig08,
-    "fig09": run_fig09,
-    "fig10": run_fig10,
-    "fig11": run_fig11,
-    "fig12": run_fig12,
-    "fig13": run_fig13,
-    "fig14": run_fig14,
-    "ext_class_partition": run_ext_class_partition,
-    **ABLATIONS,
-}
+#: Bump when row contents or spec hashing change incompatibly; every
+#: bump invalidates all previously cached points at once.
+CACHE_SCHEMA_VERSION = 1
 
-#: Names run by ``catnap-experiments all`` (the paper's own artifacts);
-#: ablations are opt-in by name because they are extensions.
-PAPER_EXPERIMENTS = (
-    "fig02", "table02", "fig06", "fig07", "fig08", "fig09",
-    "fig10", "fig11", "fig12", "fig13", "fig14",
-)
-
-#: ASCII charts printed after the table: (x, y, group, row filter).
-_CHART_SPECS: dict[str, list[tuple[str, str, str, dict]]] = {
-    "fig10": [
-        ("load", "latency", "config", {}),
-        ("load", "csc_pct", "config", {}),
-    ],
-    "fig11": [
-        ("load", "latency", "variant", {"pattern": "uniform"}),
-        ("load", "latency", "variant", {"pattern": "transpose"}),
-    ],
-    "fig13": [
-        ("load", "latency", "threshold", {"pattern": "uniform"}),
-        ("load", "latency", "threshold", {"pattern": "transpose"}),
-    ],
-    "fig14": [("load", "csc_pct", "config", {})],
-}
+#: Default on-disk cache location (override with ``REPRO_CACHE_DIR``).
+DEFAULT_CACHE_DIR = Path("results") / ".cache"
 
 
-def render_experiment(result) -> str:
-    """Table plus any ASCII charts for one experiment result."""
-    parts = [result.to_table()]
-    for x, y, group, criteria in _CHART_SPECS.get(result.name, []):
-        parts.append("")
-        parts.append(result.to_chart(x, y, group, **criteria))
-    return "\n".join(parts)
+def _jsonify(obj):
+    """Normalize ``obj`` through a JSON round trip.
+
+    Guarantees cached rows (which live as JSON on disk) compare equal
+    to freshly computed ones: tuples become lists, dict key order is
+    canonical, and only JSON-representable values survive.
+    """
+    return json.loads(json.dumps(obj, sort_keys=True))
 
 
-def run_experiment(name: str, scale: float = 1.0):
-    """Run one experiment by name and return its result."""
-    if name not in EXPERIMENTS:
-        raise ValueError(
-            f"unknown experiment {name!r}; choose from "
-            f"{sorted(EXPERIMENTS)} or 'all'"
+@dataclass(frozen=True)
+class PointSpec:
+    """One pure, self-contained measurement point of a sweep.
+
+    A spec captures everything its measurement depends on — the fabric
+    configuration, traffic pattern, offered load, simulation phases,
+    and the RNG seed — so executing it is a pure function and its
+    content hash is a sound cache key.  ``label`` entries are merged
+    into the produced row(s) but deliberately excluded from the hash:
+    two drivers labelling the same simulation differently share one
+    cache entry.
+
+    Use the named constructors (:meth:`synthetic`, :meth:`application`,
+    :meth:`power`, :meth:`bursty`, :meth:`table02`) rather than filling
+    fields by hand.
+    """
+
+    kind: str
+    config: NocConfig | None = None
+    pattern: str | None = None
+    load: float | None = None
+    phases: SimulationPhases | None = None
+    seed: int | None = None
+    packet_bits: int | None = None
+    workload: str | None = None
+    cycles: int | None = None
+    params: tuple[tuple[str, object], ...] = ()
+    label: tuple[tuple[str, object], ...] = field(
+        default=(), compare=False
+    )
+
+    # -- named constructors -------------------------------------------
+
+    @classmethod
+    def synthetic(
+        cls,
+        config: NocConfig,
+        pattern: str,
+        load: float,
+        phases: SimulationPhases,
+        seed: int = DEFAULT_SEED,
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        **label,
+    ) -> "PointSpec":
+        """Open-loop synthetic-traffic point (one row)."""
+        return cls(
+            kind="synthetic",
+            config=config,
+            pattern=pattern,
+            load=load,
+            phases=phases,
+            seed=seed,
+            packet_bits=packet_bits,
+            label=tuple(sorted(label.items())),
         )
-    return EXPERIMENTS[name](scale=scale)
+
+    @classmethod
+    def application(
+        cls,
+        config: NocConfig,
+        workload: str,
+        cycles: int,
+        seed: int = DEFAULT_SEED,
+        **label,
+    ) -> "PointSpec":
+        """Closed-loop application-workload point (one row)."""
+        return cls(
+            kind="application",
+            config=config,
+            workload=workload,
+            cycles=cycles,
+            seed=seed,
+            label=tuple(sorted(label.items())),
+        )
+
+    @classmethod
+    def power(
+        cls, config: NocConfig, port_load: float, **label
+    ) -> "PointSpec":
+        """Analytic power-breakdown point (one row; Figure 7)."""
+        return cls(
+            kind="power",
+            config=config,
+            load=port_load,
+            label=tuple(sorted(label.items())),
+        )
+
+    @classmethod
+    def bursty(
+        cls,
+        config: NocConfig,
+        pattern: str,
+        schedule: tuple[tuple[int, float], ...],
+        sample_period: int,
+        total_cycles: int,
+        seed: int = DEFAULT_SEED,
+        **label,
+    ) -> "PointSpec":
+        """Time-series point over a step-load schedule (many rows)."""
+        return cls(
+            kind="bursty",
+            config=config,
+            pattern=pattern,
+            seed=seed,
+            cycles=total_cycles,
+            params=(
+                ("sample_period", sample_period),
+                ("schedule", tuple(schedule)),
+            ),
+            label=tuple(sorted(label.items())),
+        )
+
+    @classmethod
+    def table02(cls) -> "PointSpec":
+        """The fitted 32 nm voltage/frequency table (four rows)."""
+        return cls(kind="table02")
+
+    # -- labelling / hashing ------------------------------------------
+
+    def with_label(self, **label) -> "PointSpec":
+        """Copy with extra row labels (not part of the cache key)."""
+        merged = dict(self.label)
+        merged.update(label)
+        return replace(self, label=tuple(sorted(merged.items())))
+
+    def key(self) -> dict:
+        """Canonical JSON-safe identity of this point (label excluded)."""
+        return _jsonify(
+            {
+                "kind": self.kind,
+                "config": asdict(self.config) if self.config else None,
+                "pattern": self.pattern,
+                "load": self.load,
+                "phases": asdict(self.phases) if self.phases else None,
+                "seed": self.seed,
+                "packet_bits": self.packet_bits,
+                "workload": self.workload,
+                "cycles": self.cycles,
+                "params": self.params,
+            }
+        )
+
+    def digest(self) -> str:
+        """Content hash keying the on-disk cache."""
+        payload = json.dumps(
+            {"schema": CACHE_SCHEMA_VERSION, "spec": self.key()},
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+    def describe(self) -> str:
+        """Short human-readable form for progress lines."""
+        parts = [self.kind]
+        if self.config is not None:
+            parts.append(self.config.name)
+        if self.workload is not None:
+            parts.append(self.workload)
+        if self.pattern is not None:
+            parts.append(self.pattern)
+        if self.load is not None:
+            parts.append(f"load={self.load:g}")
+        return " ".join(parts)
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
-    parser = argparse.ArgumentParser(
-        prog="catnap-experiments",
-        description="Regenerate the Catnap paper's figures and tables.",
-    )
-    parser.add_argument(
-        "experiment",
-        nargs="?",
-        default=None,
-        help="experiment name (e.g. fig08) or 'all'",
-    )
-    parser.add_argument(
-        "--scale",
-        type=float,
-        default=1.0,
-        help="cycle-count scale factor (default 1.0)",
-    )
-    parser.add_argument(
-        "--out", type=Path, default=None, help="directory for .txt outputs"
-    )
-    parser.add_argument(
-        "--list", action="store_true", help="list experiment names"
-    )
-    args = parser.parse_args(argv)
-    if args.list or args.experiment is None:
-        for name in EXPERIMENTS:
-            print(name)
-        return 0
-    if args.experiment == "all":
-        names = list(PAPER_EXPERIMENTS)
-    elif args.experiment == "ablations":
-        names = [name for name in EXPERIMENTS if name.startswith("abl_")]
-    else:
-        names = [args.experiment]
-    for name in names:
-        started = time.time()
-        result = run_experiment(name, args.scale)
-        table = render_experiment(result)
-        elapsed = time.time() - started
-        print(table)
-        print(f"[{name} finished in {elapsed:.1f}s]\n")
-        if name == "fig08":
-            print("Headline:", headline_summary(result), "\n")
-        if args.out is not None:
-            args.out.mkdir(parents=True, exist_ok=True)
-            (args.out / f"{name}.txt").write_text(table + "\n")
-    return 0
+# -- point executors (top-level so pool workers can run them) ----------
 
 
-if __name__ == "__main__":
-    sys.exit(main())
+def _run_synthetic(spec: PointSpec) -> list[dict]:
+    row = run_synthetic_point(
+        spec.config,
+        spec.pattern,
+        spec.load,
+        spec.phases,
+        spec.seed,
+        spec.packet_bits,
+    )
+    return [row]
+
+
+def _run_application(spec: PointSpec) -> list[dict]:
+    row, _, _ = run_application_point(
+        spec.config, spec.workload, spec.cycles, spec.seed
+    )
+    return [row]
+
+
+def _run_power(spec: PointSpec) -> list[dict]:
+    breakdown = power_at_port_load(spec.config, spec.load)
+    row: dict = {}
+    for name in COMPONENT_NAMES:
+        row[name] = breakdown.components[name].total_watts
+    row["dynamic_w"] = breakdown.dynamic_watts
+    row["static_w"] = breakdown.static_watts
+    row["total_w"] = breakdown.total_watts
+    return [row]
+
+
+def _run_bursty(spec: PointSpec) -> list[dict]:
+    params = dict(spec.params)
+    sample_period = params["sample_period"]
+    schedule = [tuple(step) for step in params["schedule"]]
+    fabric = MultiNocFabric(spec.config, seed=spec.seed)
+    pattern = make_pattern(spec.pattern, fabric.mesh)
+    source = BurstyTrafficSource(fabric, pattern, schedule, seed=spec.seed)
+    num_subnets = spec.config.num_subnets
+    nodes = fabric.mesh.num_nodes
+    rows: list[dict] = []
+    last_generated = 0
+    last_received = 0
+    last_per_subnet = [0] * num_subnets
+    while fabric.cycle < spec.cycles:
+        for _ in range(sample_period):
+            source.step(fabric.cycle)
+            fabric.step()
+        generated = source.packets_generated
+        received = fabric.stats.packets_received
+        per_subnet = [
+            sum(ni.injected_per_subnet[s] for ni in fabric.nis)
+            for s in range(num_subnets)
+        ]
+        window_injected = sum(per_subnet) - sum(last_per_subnet)
+        shares = [
+            (per_subnet[s] - last_per_subnet[s]) / window_injected
+            if window_injected
+            else 0.0
+            for s in range(num_subnets)
+        ]
+        denom = nodes * sample_period
+        row = {
+            "cycle": fabric.cycle,
+            "offered": (generated - last_generated) / denom,
+            "accepted": (received - last_received) / denom,
+        }
+        for s in range(num_subnets):
+            row[f"subnet{s}"] = shares[s]
+        rows.append(row)
+        last_generated = generated
+        last_received = received
+        last_per_subnet = per_subnet
+    return rows
+
+
+def _run_table02(spec: PointSpec) -> list[dict]:
+    return [
+        {
+            "design": point.design,
+            "router_width_bits": point.router_width_bits,
+            "frequency_ghz": point.frequency_ghz,
+            "voltage_v": point.voltage_v,
+            "highlighted": point.highlighted,
+        }
+        for point in table2_rows()
+    ]
+
+
+_EXECUTORS = {
+    "synthetic": _run_synthetic,
+    "application": _run_application,
+    "power": _run_power,
+    "bursty": _run_bursty,
+    "table02": _run_table02,
+}
+
+
+def execute_point(spec: PointSpec) -> list[dict]:
+    """Execute one spec and return its JSON-normalized rows (no label)."""
+    try:
+        executor = _EXECUTORS[spec.kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown point kind {spec.kind!r}; "
+            f"choose from {sorted(_EXECUTORS)}"
+        ) from None
+    return _jsonify(executor(spec))
+
+
+def _execute_indexed(item: tuple[int, PointSpec]):
+    """Pool worker body: run one spec, keep its position and timing."""
+    index, spec = item
+    started = time.perf_counter()
+    rows = execute_point(spec)
+    return index, rows, time.perf_counter() - started
+
+
+# -- on-disk cache -----------------------------------------------------
+
+
+class SweepCache:
+    """Content-addressed on-disk store of completed point rows.
+
+    One JSON file per point under ``root``, named by the spec digest.
+    Each file records the schema version and the full spec key next to
+    the rows, so a hash collision or a stale schema can never serve
+    wrong data — mismatches read as misses.
+    """
+
+    def __init__(self, root: Path | str = DEFAULT_CACHE_DIR):
+        self.root = Path(root)
+
+    def _path(self, spec: PointSpec) -> Path:
+        return self.root / f"{spec.digest()}.json"
+
+    def get(self, spec: PointSpec) -> list[dict] | None:
+        """Rows for ``spec``, or ``None`` on a miss."""
+        path = self._path(spec)
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        if (
+            payload.get("schema") != CACHE_SCHEMA_VERSION
+            or payload.get("spec") != spec.key()
+        ):
+            return None
+        return payload["rows"]
+
+    def put(self, spec: PointSpec, rows: list[dict]) -> None:
+        """Persist rows atomically (write-then-rename)."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self._path(spec)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(
+            json.dumps(
+                {
+                    "schema": CACHE_SCHEMA_VERSION,
+                    "spec": spec.key(),
+                    "rows": rows,
+                },
+                sort_keys=True,
+            )
+        )
+        tmp.replace(path)
+
+    def clear(self) -> int:
+        """Delete every cached point; return the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.glob("*.json"):
+                path.unlink()
+                removed += 1
+        return removed
+
+
+def _cache_disabled_by_env() -> bool:
+    value = os.environ.get("REPRO_NO_CACHE", "")
+    return value not in ("", "0")
+
+
+def default_cache() -> SweepCache | None:
+    """Cache per environment: ``None`` when ``REPRO_NO_CACHE`` is set."""
+    if _cache_disabled_by_env():
+        return None
+    return SweepCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+
+
+def env_jobs(default: int | None = None) -> int:
+    """Worker count from ``REPRO_JOBS`` (default: all cores)."""
+    value = os.environ.get("REPRO_JOBS")
+    if value is None:
+        return default if default is not None else (os.cpu_count() or 1)
+    jobs = int(value)
+    if jobs < 1:
+        raise ValueError("REPRO_JOBS must be >= 1")
+    return jobs
+
+
+# -- observers ---------------------------------------------------------
+
+
+@dataclass
+class SweepStats:
+    """Aggregate record of one :func:`run_sweep` call."""
+
+    points: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    wall_seconds: float = 0.0
+    point_seconds: list[float] = field(default_factory=list)
+
+
+class SweepObserver:
+    """Hook interface for sweep progress; all methods default to no-ops.
+
+    ``point_finished`` fires once per point, in completion order (which
+    under a parallel pool is not spec order); ``elapsed`` is the
+    in-worker execution time and is ``0.0`` for cache hits.
+    """
+
+    def sweep_started(self, total: int) -> None:
+        pass
+
+    def point_finished(
+        self,
+        index: int,
+        spec: PointSpec,
+        rows: list[dict],
+        elapsed: float,
+        cached: bool,
+    ) -> None:
+        pass
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        pass
+
+
+class ProgressObserver(SweepObserver):
+    """Prints one line per completed point plus a summary."""
+
+    def __init__(self, stream=None):
+        import sys
+
+        self.stream = stream if stream is not None else sys.stderr
+        self._total = 0
+        self._done = 0
+
+    def sweep_started(self, total: int) -> None:
+        self._total = total
+        self._done = 0
+
+    def point_finished(self, index, spec, rows, elapsed, cached) -> None:
+        self._done += 1
+        status = "cache" if cached else f"{elapsed:.2f}s"
+        print(
+            f"  [{self._done}/{self._total}] {spec.describe()} ({status})",
+            file=self.stream,
+        )
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        print(
+            f"  sweep: {stats.points} points, {stats.cache_hits} cached, "
+            f"{stats.cache_misses} simulated in {stats.wall_seconds:.2f}s",
+            file=self.stream,
+        )
+
+
+_default_observer: SweepObserver | None = None
+
+
+def set_default_observer(observer: SweepObserver | None) -> None:
+    """Observer used by :func:`run_sweep` calls that pass none.
+
+    The CLI installs one here so drivers stay observer-agnostic.
+    """
+    global _default_observer
+    _default_observer = observer
+
+
+# -- the sweep runner --------------------------------------------------
+
+_CACHE_FROM_ENV = object()  # sentinel: "resolve the cache from env vars"
+
+
+def run_sweep(
+    specs,
+    jobs: int | None = None,
+    cache: SweepCache | None = _CACHE_FROM_ENV,
+    observer: SweepObserver | None = None,
+) -> list[dict]:
+    """Execute every spec and return their rows, flattened in spec order.
+
+    ``synthetic``/``application``/``power`` points contribute exactly
+    one row each, so for such sweeps ``rows[i]`` corresponds to
+    ``specs[i]``; ``bursty``/``table02`` points expand to several rows
+    in place.  Results are independent of ``jobs``: every spec carries
+    its own seed, so serial and parallel execution are byte-identical.
+
+    ``jobs`` defaults to ``REPRO_JOBS`` (or all cores); ``cache``
+    defaults to :func:`default_cache` (pass ``None`` to force off);
+    ``observer`` defaults to the one installed with
+    :func:`set_default_observer`.
+    """
+    specs = list(specs)
+    if observer is None:
+        observer = _default_observer or SweepObserver()
+    if cache is _CACHE_FROM_ENV:
+        cache = default_cache()
+    if jobs is None:
+        jobs = env_jobs()
+
+    stats = SweepStats(points=len(specs))
+    started = time.perf_counter()
+    observer.sweep_started(len(specs))
+
+    rows_by_index: dict[int, list[dict]] = {}
+    pending: list[tuple[int, PointSpec]] = []
+    for index, spec in enumerate(specs):
+        hit = cache.get(spec) if cache is not None else None
+        if hit is not None:
+            rows_by_index[index] = hit
+            stats.cache_hits += 1
+            stats.point_seconds.append(0.0)
+            observer.point_finished(index, spec, hit, 0.0, True)
+        else:
+            pending.append((index, spec))
+
+    def record(index: int, rows: list[dict], elapsed: float) -> None:
+        rows_by_index[index] = rows
+        stats.cache_misses += 1
+        stats.point_seconds.append(elapsed)
+        if cache is not None:
+            cache.put(specs[index], rows)
+        observer.point_finished(index, specs[index], rows, elapsed, False)
+
+    if pending:
+        workers = min(jobs, len(pending))
+        if workers > 1:
+            with _pool_context().Pool(workers) as pool:
+                for index, rows, elapsed in pool.imap_unordered(
+                    _execute_indexed, pending
+                ):
+                    record(index, rows, elapsed)
+        else:
+            for item in pending:
+                record(*_execute_indexed(item))
+
+    stats.wall_seconds = time.perf_counter() - started
+    observer.sweep_finished(stats)
+
+    out: list[dict] = []
+    for index, spec in enumerate(specs):
+        label = dict(spec.label)
+        for row in rows_by_index[index]:
+            out.append({**row, **label} if label else dict(row))
+    return out
+
+
+def _pool_context():
+    """Fork where available (cheap, inherits state); spawn otherwise."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context("spawn")

@@ -8,7 +8,7 @@ points exactly.
 from __future__ import annotations
 
 from repro.experiments.common import ExperimentResult
-from repro.power.technology import table2_rows
+from repro.experiments.runner import PointSpec, run_sweep
 
 __all__ = ["run_table02"]
 
@@ -24,14 +24,5 @@ def run_table02(scale: float = 1.0) -> ExperimentResult:
         ],
         notes="highlighted rows are the evaluated 2 GHz operating points",
     )
-    for point in table2_rows():
-        result.rows.append(
-            {
-                "design": point.design,
-                "router_width_bits": point.router_width_bits,
-                "frequency_ghz": point.frequency_ghz,
-                "voltage_v": point.voltage_v,
-                "highlighted": point.highlighted,
-            }
-        )
+    result.rows.extend(run_sweep([PointSpec.table02()]))
     return result

@@ -1,8 +1,11 @@
-"""Cycle-level network-on-chip substrate.
+"""Cycle-level network-on-chip substrate (paper §2, §4.1, Table 1).
 
-Public entry points: :class:`NocConfig` describes a fabric;
-:class:`MultiNocFabric` instantiates it; :func:`run_open_loop` drives an
-open-loop experiment.
+Implements the simulated hardware the paper evaluates: concentrated
+meshes of two-stage speculative VC routers with wormhole switching and
+credit flow control, composed into a Multi-NoC fabric of narrow
+subnets.  Public entry points: :class:`NocConfig` describes a fabric;
+:class:`MultiNocFabric` instantiates it; :func:`run_open_loop` drives
+an open-loop experiment.
 """
 
 from repro.noc.config import (

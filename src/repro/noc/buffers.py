@@ -1,8 +1,10 @@
-"""Input-buffer and virtual-channel state for a router port.
+"""Input-buffer and virtual-channel state for a router port (§2.3, §4.1).
 
 The paper's routers are input-buffered with 4 virtual channels per port
 and 4 flits per VC; buffer depth *in flits* is constant across network
 configurations (§2.3).  Flow control is credit-based per VC.
+:class:`InputPort` owns one :class:`VirtualChannel` per VC; its maximum
+occupancy is what the winning BFM congestion metric (§3.2.1) reads.
 """
 
 from __future__ import annotations

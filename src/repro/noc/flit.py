@@ -1,9 +1,12 @@
-"""Packets and flits.
+"""Packets and flits (paper §2.3, §4.1).
 
-A message is carried as one packet; the network interface segments a
-packet into flits no wider than the subnet datapath.  All flits of a
-packet travel on the same subnet (paper §2.3), so a packet records its
-subnet at injection.
+A message is carried as one :class:`Packet`; the network interface
+segments a packet into :class:`Flit` units no wider than the subnet
+datapath, so flit count per packet scales with the number of subnets
+(the serialization cost of Figure 6).  All flits of a packet travel on
+the same subnet (paper §2.3), so a packet records its subnet at
+injection.  :class:`MessageClass` carries the MESI message type used by
+class-partitioned selection (§7.2).
 """
 
 from __future__ import annotations

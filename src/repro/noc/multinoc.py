@@ -1,4 +1,5 @@
-"""The Multi-NoC fabric: subnets, NIs, policies, gating — one object.
+"""The Multi-NoC fabric: subnets, NIs, policies, gating — one object
+(paper §2.2, Figure 1; the evaluated configurations of Table 1).
 
 ``MultiNocFabric`` wires together everything a configuration implies:
 per-subnet router networks, the shared NIs, the congestion monitor, the

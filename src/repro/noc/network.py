@@ -1,8 +1,10 @@
 """A single subnetwork: a mesh of routers plus its transfer delay line.
 
-``SubnetNetwork`` owns the routers of one subnet, moves flits between
-them with the configured pipeline + link latency, returns credits, and
-accumulates the activity counters the power model consumes.
+One of the N equal subnets of the paper's Multi-NoC (§2.2, Figure 1) —
+a Single-NoC is the N=1 special case.  :class:`SubnetNetwork` owns the
+routers of one subnet, moves flits between them with the configured
+pipeline + link latency, returns credits, and accumulates the
+:class:`ActivityCounters` the power model (§4.2) consumes.
 """
 
 from __future__ import annotations

@@ -1,4 +1,7 @@
-"""Deterministic dimension-ordered (X-Y) look-ahead routing.
+"""Deterministic dimension-ordered (X-Y) look-ahead routing (§4.1).
+
+:class:`XYRouting` implements the routing function of the paper's
+Table 1 router configuration.
 
 X-Y routing first corrects the X coordinate, then Y, and finally ejects
 at the LOCAL port.  Look-ahead routing (Galles' SGI Spider scheme, used

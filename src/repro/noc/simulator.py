@@ -1,10 +1,13 @@
 """Open-loop simulation driver with warmup / measure / cooldown phases.
 
-``run_open_loop`` implements the standard interconnect measurement
-methodology: the network is warmed to steady state, statistics are
-gathered over a fixed window, and the source keeps running through a
-cooldown so packets created near the end of the window can complete and
-contribute their latency.
+:func:`run_open_loop` implements the synthetic-traffic methodology of
+the paper's §6.3 evaluation (Figures 6, 10, 11, 13, 14): the network is
+warmed to steady state, statistics are gathered over a fixed window,
+and the source keeps running through a cooldown so packets created near
+the end of the window can complete and contribute their latency.
+:class:`SimulationPhases` fixes the three cycle counts and is part of
+every synthetic sweep point's cache identity
+(:class:`repro.experiments.runner.PointSpec`).
 """
 
 from __future__ import annotations

@@ -1,4 +1,7 @@
-"""Latency and throughput statistics with warmup/measure windows.
+"""Latency and throughput statistics with warmup/measure windows (§6.3).
+
+:class:`NetworkStats` produces the metrics plotted on the paper's
+synthetic-traffic axes (Figures 6, 10, 11, 13, 14).
 
 Open-loop synthetic experiments follow the standard methodology: warm
 the network up, measure over a fixed window, and report (a) the average

@@ -2,7 +2,15 @@
 
 from __future__ import annotations
 
+import os
+
 import pytest
+
+# Unit tests run sweeps serially and never touch the on-disk result
+# cache unless a test opts in explicitly (explicit run_sweep arguments
+# always override these environment defaults).
+os.environ.setdefault("REPRO_JOBS", "1")
+os.environ.setdefault("REPRO_NO_CACHE", "1")
 
 from repro.noc.config import (
     CongestionConfig,

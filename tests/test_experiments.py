@@ -26,7 +26,7 @@ from repro.experiments.fig11_congestion_metrics import (
 from repro.experiments.fig12_bursty import burst_schedule, run_fig12
 from repro.experiments.fig13_ir_thresholds import ir_config, run_fig13
 from repro.experiments.fig14_64core import run_fig14
-from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.cli import EXPERIMENTS, run_experiment
 from repro.experiments.table02_voltage import run_table02
 
 TINY = 0.08
@@ -41,6 +41,34 @@ class TestExperimentResult:
         assert result.column("b") == [2, 3]
         assert len(result.select(a=1)) == 2
         assert result.select(b=3)[0]["b"] == 3
+
+    def test_to_chart_shared_grid(self):
+        result = ExperimentResult(
+            "x",
+            "t",
+            rows=[
+                {"load": 0.1, "lat": 10.0, "cfg": "a"},
+                {"load": 0.2, "lat": 12.0, "cfg": "a"},
+                {"load": 0.1, "lat": 11.0, "cfg": "b"},
+                {"load": 0.2, "lat": 14.0, "cfg": "b"},
+            ],
+        )
+        assert "lat vs load" in result.to_chart("load", "lat", "cfg")
+
+    def test_to_chart_rejects_mismatched_grid(self):
+        """A group missing an x value must raise, not silently reuse
+        a neighbouring point (regression for the points[-1] fallback)."""
+        result = ExperimentResult(
+            "x",
+            "t",
+            rows=[
+                {"load": 0.1, "lat": 10.0, "cfg": "a"},
+                {"load": 0.2, "lat": 12.0, "cfg": "a"},
+                {"load": 0.1, "lat": 11.0, "cfg": "b"},
+            ],
+        )
+        with pytest.raises(ValueError, match="same x grid"):
+            result.to_chart("load", "lat", "cfg")
 
 
 class TestTable02:

@@ -1,10 +1,10 @@
-"""Tests for the catnap-experiments command-line runner."""
+"""Tests for the catnap-experiments command-line interface."""
 
 from __future__ import annotations
 
 import pytest
 
-from repro.experiments.runner import (
+from repro.experiments.cli import (
     EXPERIMENTS,
     PAPER_EXPERIMENTS,
     main,
@@ -44,7 +44,7 @@ class TestRenderExperiment:
         assert render_experiment(result) == result.to_table()
 
     def test_chart_specs_only_reference_known_experiments(self):
-        from repro.experiments.runner import _CHART_SPECS
+        from repro.experiments.cli import _CHART_SPECS
 
         assert set(_CHART_SPECS) <= set(EXPERIMENTS)
 
