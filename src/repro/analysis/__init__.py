@@ -1,0 +1,45 @@
+"""Static lint passes and runtime invariant checking for the simulator.
+
+The correctness of Catnap's results rests on delicate distributed
+state — credit-based VC flow control, per-subnet power-gating legality,
+and the LCS/RCS congestion fabric — where a single lost credit or a
+flit delivered to a sleeping router silently corrupts every downstream
+figure.  This package machine-checks that state from two sides:
+
+* :mod:`repro.analysis.lint` — an AST-based static checker with
+  simulator-specific rules (SIM001–SIM006: unseeded randomness,
+  order-dependent set iteration, wall-clock reads, mutable defaults,
+  float equality, strippable ``assert`` guards), runnable as
+  ``python -m repro.analysis lint`` with a committed-baseline workflow
+  so CI fails only on *new* violations.
+* :mod:`repro.analysis.invariants` — a cycle-level runtime checker
+  that, when ``REPRO_CHECK=1``, hooks the fabric and asserts
+  per-cycle conservation laws (credit conservation per (port, VC),
+  no flit loss or duplication, no arrival at a gated router, strict
+  subnet-selection priority) plus a channel-dependency-graph deadlock
+  watchdog that dumps a cycle witness on stall.
+
+See ``docs/analysis.md`` for the rule catalogue, baseline workflow,
+and ``REPRO_CHECK`` semantics.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.invariants import InvariantChecker, InvariantViolation
+from repro.analysis.lint import (
+    LINT_RULES,
+    Baseline,
+    Violation,
+    lint_file,
+    lint_paths,
+)
+
+__all__ = [
+    "LINT_RULES",
+    "Baseline",
+    "Violation",
+    "lint_file",
+    "lint_paths",
+    "InvariantChecker",
+    "InvariantViolation",
+]

@@ -1,0 +1,189 @@
+"""``python -m repro.analysis`` — static analysis command line.
+
+Subcommands::
+
+    python -m repro.analysis lint                  # lint src/repro
+    python -m repro.analysis lint path/ --no-baseline
+    python -m repro.analysis lint --baseline       # explicit baseline
+    python -m repro.analysis lint --write-baseline # accept current state
+    python -m repro.analysis lint --format json
+    python -m repro.analysis rules                 # print the catalogue
+
+Exit status: 0 when no (new) violations were found, 1 otherwise, 2 on
+usage errors.  When the committed baseline (``lint-baseline.json`` at
+the repository root) exists it is applied by default, so CI and local
+runs fail only on *new* violations; pass ``--no-baseline`` for the
+full list.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.lint import (
+    LINT_RULES,
+    Baseline,
+    Violation,
+    default_baseline_path,
+    default_target,
+    lint_paths,
+)
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Simulator-specific static analysis (SIM001-SIM006).",
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint = sub.add_parser(
+        "lint", help="run the SIM001-SIM006 lint passes"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories (default: the repro package)",
+    )
+    lint.add_argument(
+        "--baseline",
+        nargs="?",
+        type=Path,
+        const=True,
+        default=None,
+        metavar="FILE",
+        help="suppress violations recorded in FILE (default: the "
+        "committed lint-baseline.json)",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report every violation, ignoring any baseline file",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        nargs="?",
+        type=Path,
+        const=True,
+        default=None,
+        metavar="FILE",
+        help="record the current violations as the accepted baseline",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    lint.add_argument(
+        "--no-hints",
+        action="store_true",
+        help="omit fix hints from text output",
+    )
+
+    sub.add_parser("rules", help="print the rule catalogue")
+    return parser
+
+
+def _resolve_baseline_path(option: Path | bool | None) -> Path | None:
+    """Map the ``--baseline``/``--write-baseline`` option to a path."""
+    if option is None or option is False:
+        return None
+    if option is True:
+        return default_baseline_path()
+    return Path(option)
+
+
+def _cmd_rules() -> int:
+    for rule in LINT_RULES.values():
+        print(f"{rule.code} [{rule.severity}] {rule.title}")
+        print(f"    fix: {rule.hint}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    targets = args.paths or [default_target()]
+    violations = lint_paths(targets)
+
+    write_path = _resolve_baseline_path(args.write_baseline)
+    if write_path is not None:
+        Baseline.from_violations(violations).save(write_path)
+        print(
+            f"wrote baseline with {len(violations)} violation(s) to "
+            f"{write_path}"
+        )
+        return 0
+
+    baseline_path = _resolve_baseline_path(args.baseline)
+    applied_baseline: Path | None = None
+    if not args.no_baseline:
+        if baseline_path is not None:
+            if not baseline_path.is_file():
+                print(
+                    f"error: baseline file not found: {baseline_path}",
+                    file=sys.stderr,
+                )
+                return 2
+            applied_baseline = baseline_path
+        elif not args.paths and default_baseline_path().is_file():
+            # Default run over the default target: apply the committed
+            # baseline so only new violations fail.
+            applied_baseline = default_baseline_path()
+    if applied_baseline is not None:
+        violations = Baseline.load(applied_baseline).filter_new(violations)
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                [
+                    {
+                        "rule": v.rule,
+                        "severity": v.severity,
+                        "path": v.path,
+                        "line": v.line,
+                        "col": v.col,
+                        "message": v.message,
+                        "hint": v.hint,
+                        "scope": v.scope,
+                        "snippet": v.snippet,
+                    }
+                    for v in violations
+                ],
+                indent=2,
+            )
+        )
+    else:
+        for violation in violations:
+            print(violation.render(show_hint=not args.no_hints))
+        suffix = (
+            f" (baseline: {applied_baseline})" if applied_baseline else ""
+        )
+        errors = sum(1 for v in violations if v.severity == "error")
+        warnings = len(violations) - errors
+        print(
+            f"{len(violations)} violation(s): {errors} error(s), "
+            f"{warnings} warning(s){suffix}"
+        )
+    return 1 if violations else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit status."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        return _cmd_rules()
+    if args.command == "lint":
+        return _cmd_lint(args)
+    parser.print_help()
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,589 @@
+"""Cycle-level runtime invariant checking for the Multi-NoC fabric.
+
+When ``REPRO_CHECK=1`` the fabric constructor attaches an
+:class:`InvariantChecker` that re-derives, every checked cycle, the
+conservation laws the simulator's distributed state must obey:
+
+``gated-arrival``
+    No flit is buffered at — or in flight toward — a router whose
+    power state is sleep or wakeup (a gated router accepts nothing).
+``flit-conservation``
+    Per subnet: ``flits_injected == flits_ejected + in-network`` and
+    the in-network count equals buffered flits plus link-in-flight
+    flits (no loss, no duplication).
+``credit-conservation``
+    Per (link, VC): upstream credit counter + downstream buffer
+    occupancy + flits in flight on the link equals the VC buffer
+    capacity.  Covers router-to-router links and the NI-to-router
+    injection link.
+``router-accounting``
+    Router-internal counters (``buffered_flits``,
+    ``expected_arrivals``, credit bounds) match first-principles
+    recounts.
+``gating-state``
+    Sleep/wakeup bookkeeping in the gating controller is consistent
+    with each router's power state.
+``priority-selection``
+    The strict-priority (Catnap) selection policy never skips a
+    non-congested lower-order subnet.
+``deadlock``
+    A watchdog: if flits are in the network but no buffer event
+    happens for ``stall_cycles`` cycles, the checker builds the
+    channel-dependency graph over waiting head flits and raises with
+    a cycle witness (or a blocked-head summary when acyclic).
+
+All violations raise :class:`InvariantViolation` carrying the
+invariant name, the cycle, and a precise diagnostic.
+
+Overhead is zero when disabled: the checker wraps ``fabric.step`` via
+an instance attribute, so an unchecked fabric runs the original bound
+method with no extra branches.  ``REPRO_CHECK_INTERVAL`` (default 1)
+checks every N-th cycle; the laws hold at every cycle boundary, so
+sampling trades coverage for speed without false positives.
+``REPRO_CHECK_STALL`` (default 1024) sets the watchdog horizon.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterator
+
+from repro.noc.buffers import vc_candidates
+from repro.noc.router import PowerState, Router
+from repro.noc.topology import Port
+
+if TYPE_CHECKING:
+    from repro.noc.flit import Packet
+    from repro.noc.multinoc import MultiNocFabric
+    from repro.noc.network import SubnetNetwork
+
+__all__ = [
+    "InvariantChecker",
+    "InvariantViolation",
+    "checking_enabled",
+    "maybe_attach",
+]
+
+#: A channel is identified as (subnet, node, in_port, vc).
+Channel = tuple[int, int, int, int]
+
+
+class InvariantViolation(RuntimeError):
+    """A cycle-level invariant does not hold.
+
+    Attributes
+    ----------
+    invariant:
+        Name of the violated law (e.g. ``"credit-conservation"``).
+    cycle:
+        Fabric cycle at which the violation was detected.
+    details:
+        Human-readable diagnostic with the exact location and counts.
+    """
+
+    def __init__(self, invariant: str, cycle: int, details: str) -> None:
+        super().__init__(f"[{invariant}] cycle {cycle}: {details}")
+        self.invariant = invariant
+        self.cycle = cycle
+        self.details = details
+
+
+def checking_enabled() -> bool:
+    """True when ``REPRO_CHECK`` asks for runtime invariant checking."""
+    value = os.environ.get("REPRO_CHECK", "")
+    return value not in ("", "0")
+
+
+def maybe_attach(fabric: "MultiNocFabric") -> "InvariantChecker | None":
+    """Attach a checker to ``fabric`` when ``REPRO_CHECK`` is set."""
+    if not checking_enabled():
+        return None
+    return InvariantChecker(fabric).attach()
+
+
+class _CheckedPolicy:
+    """Transparent proxy asserting strict-priority subnet selection.
+
+    Wraps a selection policy whose class sets ``strict_priority``;
+    after every ``select`` it re-reads the congestion monitor and
+    raises when a non-congested lower-order subnet was skipped (the
+    congestion state is stable within a cycle, so the re-read observes
+    exactly what the policy saw).
+    """
+
+    def __init__(self, inner: Any, checker: "InvariantChecker") -> None:
+        self._inner = inner
+        self._checker = checker
+
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
+        subnet = int(self._inner.select(node, cycle, packet))
+        monitor = self._inner.monitor
+        if subnet > 0:
+            skipped = [
+                lower
+                for lower in range(subnet)
+                if not monitor.is_congested(node, lower)
+            ]
+            if skipped:
+                raise InvariantViolation(
+                    "priority-selection",
+                    cycle,
+                    f"node {node} injected into subnet {subnet} while "
+                    f"lower-order subnet(s) {skipped} were not "
+                    "congested (strict priority must fill lowest "
+                    "first)",
+                )
+        self._checker.counts["priority-selection"] += 1
+        return subnet
+
+    def __getattr__(self, name: str) -> Any:
+        return getattr(self._inner, name)
+
+
+class InvariantChecker:
+    """Re-derives fabric conservation laws every checked cycle."""
+
+    def __init__(
+        self,
+        fabric: "MultiNocFabric",
+        interval: int | None = None,
+        stall_cycles: int | None = None,
+    ) -> None:
+        self.fabric = fabric
+        if interval is None:
+            interval = int(os.environ.get("REPRO_CHECK_INTERVAL", "1"))
+        if stall_cycles is None:
+            stall_cycles = int(os.environ.get("REPRO_CHECK_STALL", "1024"))
+        if interval < 1:
+            raise ValueError("check interval must be >= 1")
+        if stall_cycles < 1:
+            raise ValueError("stall_cycles must be >= 1")
+        self.interval = interval
+        self.stall_cycles = stall_cycles
+        #: Checks performed per invariant (diagnostics / test hooks).
+        self.counts: dict[str, int] = {
+            name: 0
+            for name in (
+                "gated-arrival",
+                "flit-conservation",
+                "credit-conservation",
+                "router-accounting",
+                "gating-state",
+                "priority-selection",
+                "deadlock",
+            )
+        }
+        self._orig_step: Any = None
+        self._since_check = 0
+        self._last_progress = -1
+        self._stalled_for = 0
+
+    # ------------------------------------------------------------------
+    # Attachment
+    # ------------------------------------------------------------------
+    def attach(self) -> "InvariantChecker":
+        """Hook the fabric's step loop and its selection policies."""
+        fabric = self.fabric
+        if self._orig_step is not None:
+            raise RuntimeError("invariant checker is already attached")
+        self._orig_step = fabric.step
+        # Instance attribute shadows the class method: zero overhead
+        # for unchecked fabrics, full interception for this one.
+        fabric.step = self._checked_step  # type: ignore[method-assign]
+        for ni in fabric.nis:
+            policy = ni.policy
+            if policy is not None and getattr(
+                policy, "strict_priority", False
+            ):
+                ni.policy = _CheckedPolicy(policy, self)
+        return self
+
+    def detach(self) -> None:
+        """Remove all hooks, restoring the unchecked fast path."""
+        if self._orig_step is None:
+            return
+        del self.fabric.step  # uncover the class method
+        self._orig_step = None
+        for ni in self.fabric.nis:
+            if isinstance(ni.policy, _CheckedPolicy):
+                ni.policy = ni.policy._inner
+
+    def _checked_step(self) -> None:
+        self._orig_step()
+        self._since_check += 1
+        if self._since_check >= self.interval:
+            self._since_check = 0
+            # fabric.cycle was already advanced past the evaluated one.
+            self.check_now(self.fabric.cycle - 1)
+
+    # ------------------------------------------------------------------
+    # The laws
+    # ------------------------------------------------------------------
+    def check_now(self, cycle: int) -> None:
+        """Evaluate every invariant against the current fabric state."""
+        for network in self.fabric.subnets:
+            census = _RingCensus(network)
+            self._check_gated_arrivals(network, census, cycle)
+            self._check_flit_conservation(network, census, cycle)
+            self._check_credit_conservation(network, census, cycle)
+            self._check_router_accounting(network, census, cycle)
+        self._check_gating_state(cycle)
+        self._check_stall(cycle)
+
+    def _check_gated_arrivals(
+        self, network: "SubnetNetwork", census: "_RingCensus", cycle: int
+    ) -> None:
+        self.counts["gated-arrival"] += 1
+        for router in network.routers:
+            if router.power_state == PowerState.ACTIVE:
+                continue
+            state = PowerState.NAMES[router.power_state]
+            if router.buffered_flits:
+                raise InvariantViolation(
+                    "gated-arrival",
+                    cycle,
+                    f"subnet {network.subnet} node {router.node}: "
+                    f"{router.buffered_flits} flit(s) buffered at a "
+                    f"router in state '{state}' (a gated router must "
+                    "be drained; an upstream hop or the gating "
+                    "controller skipped a wakeup)",
+                )
+            inbound = census.per_router.get(id(router), 0)
+            if inbound:
+                raise InvariantViolation(
+                    "gated-arrival",
+                    cycle,
+                    f"subnet {network.subnet} node {router.node}: "
+                    f"{inbound} flit(s) in flight toward a router in "
+                    f"state '{state}' (senders must wake the next hop "
+                    "before forwarding)",
+                )
+
+    def _check_flit_conservation(
+        self, network: "SubnetNetwork", census: "_RingCensus", cycle: int
+    ) -> None:
+        self.counts["flit-conservation"] += 1
+        counters = network.counters
+        outstanding = counters.flits_injected - counters.flits_ejected
+        if outstanding != network.flits_in_network:
+            raise InvariantViolation(
+                "flit-conservation",
+                cycle,
+                f"subnet {network.subnet}: injected "
+                f"{counters.flits_injected} - ejected "
+                f"{counters.flits_ejected} = {outstanding}, but "
+                f"flits_in_network = {network.flits_in_network} "
+                "(a flit was lost or duplicated)",
+            )
+        buffered = sum(r.buffered_flits for r in network.routers)
+        present = buffered + census.total
+        if present != network.flits_in_network:
+            raise InvariantViolation(
+                "flit-conservation",
+                cycle,
+                f"subnet {network.subnet}: {buffered} buffered + "
+                f"{census.total} on links = {present} flit(s), but "
+                f"flits_in_network = {network.flits_in_network} "
+                "(a flit was lost or duplicated in transit)",
+            )
+
+    def _check_credit_conservation(
+        self, network: "SubnetNetwork", census: "_RingCensus", cycle: int
+    ) -> None:
+        self.counts["credit-conservation"] += 1
+        capacity = network.config.flits_per_vc
+        vcs = network.config.vcs_per_port
+        for router in network.routers:
+            for out_port in range(Port.COUNT):
+                if out_port == Port.LOCAL:
+                    continue  # ejection port: no credit loop
+                downstream = router.neighbor_router[out_port]
+                if downstream is None:
+                    continue
+                in_port = Port.OPPOSITE[out_port]
+                port = downstream.ports[in_port]
+                for vc in range(vcs):
+                    credits = router.credits[out_port][vc]
+                    occupancy = port.vcs[vc].occupancy
+                    in_flight = census.per_channel.get(
+                        (id(downstream), in_port, vc), 0
+                    )
+                    if credits + occupancy + in_flight != capacity:
+                        raise InvariantViolation(
+                            "credit-conservation",
+                            cycle,
+                            f"subnet {network.subnet} link "
+                            f"{router.node}->{downstream.node} "
+                            f"(port {Port.NAMES[out_port]}, vc {vc}): "
+                            f"credits {credits} + buffered {occupancy}"
+                            f" + in-flight {in_flight} != capacity "
+                            f"{capacity} (a credit was lost, forged, "
+                            "or returned twice)",
+                        )
+        # NI -> local router injection link of every node.
+        for ni in self.fabric.nis:
+            router = network.routers[ni.node]
+            credits_row = ni._credits[network.subnet]
+            port = router.ports[Port.LOCAL]
+            for vc in range(vcs):
+                credits = credits_row[vc]
+                occupancy = port.vcs[vc].occupancy
+                in_flight = census.per_channel.get(
+                    (id(router), Port.LOCAL, vc), 0
+                )
+                if credits + occupancy + in_flight != capacity:
+                    raise InvariantViolation(
+                        "credit-conservation",
+                        cycle,
+                        f"subnet {network.subnet} NI->router at node "
+                        f"{ni.node} (vc {vc}): credits {credits} + "
+                        f"buffered {occupancy} + in-flight {in_flight}"
+                        f" != capacity {capacity} (injection-side "
+                        "credit was lost, forged, or returned twice)",
+                    )
+
+    def _check_router_accounting(
+        self, network: "SubnetNetwork", census: "_RingCensus", cycle: int
+    ) -> None:
+        self.counts["router-accounting"] += 1
+        capacity = network.config.flits_per_vc
+        for router in network.routers:
+            recount = sum(port.occupancy for port in router.ports)
+            if recount != router.buffered_flits:
+                raise InvariantViolation(
+                    "router-accounting",
+                    cycle,
+                    f"subnet {network.subnet} node {router.node}: "
+                    f"buffered_flits = {router.buffered_flits} but "
+                    f"ports hold {recount} flit(s)",
+                )
+            inbound = census.per_router.get(id(router), 0)
+            if inbound != router.expected_arrivals:
+                raise InvariantViolation(
+                    "router-accounting",
+                    cycle,
+                    f"subnet {network.subnet} node {router.node}: "
+                    f"expected_arrivals = {router.expected_arrivals} "
+                    f"but {inbound} flit(s) are in flight toward it",
+                )
+            for out_port in range(Port.COUNT):
+                for vc, credits in enumerate(router.credits[out_port]):
+                    if not 0 <= credits <= capacity:
+                        raise InvariantViolation(
+                            "router-accounting",
+                            cycle,
+                            f"subnet {network.subnet} node "
+                            f"{router.node} port "
+                            f"{Port.NAMES[out_port]} vc {vc}: credit "
+                            f"counter {credits} outside [0, "
+                            f"{capacity}]",
+                        )
+
+    def _check_gating_state(self, cycle: int) -> None:
+        self.counts["gating-state"] += 1
+        gating = self.fabric.gating
+        for network in self.fabric.subnets:
+            for router in network.routers:
+                state = gating.state_of(router)
+                if (
+                    router.power_state == PowerState.SLEEP
+                    and state.sleep_start < 0
+                ):
+                    raise InvariantViolation(
+                        "gating-state",
+                        cycle,
+                        f"subnet {network.subnet} node {router.node}: "
+                        "router is asleep but the controller has no "
+                        "open sleep period for it",
+                    )
+                if (
+                    router.power_state == PowerState.WAKEUP
+                    and state.wake_ready < 0
+                ):
+                    raise InvariantViolation(
+                        "gating-state",
+                        cycle,
+                        f"subnet {network.subnet} node {router.node}: "
+                        "router is waking but the controller never "
+                        "scheduled its wake_ready cycle",
+                    )
+
+    # ------------------------------------------------------------------
+    # Deadlock watchdog
+    # ------------------------------------------------------------------
+    def _progress_counter(self) -> int:
+        total = 0
+        for network in self.fabric.subnets:
+            counters = network.counters
+            total += (
+                counters.flits_injected
+                + counters.flits_ejected
+                + counters.buffer_reads
+                + counters.buffer_writes
+            )
+        return total
+
+    def _check_stall(self, cycle: int) -> None:
+        self.counts["deadlock"] += 1
+        if self.fabric.in_flight_flits == 0:
+            self._last_progress = -1
+            self._stalled_for = 0
+            return
+        progress = self._progress_counter()
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._stalled_for = 0
+            return
+        self._stalled_for += self.interval
+        if self._stalled_for >= self.stall_cycles:
+            raise InvariantViolation(
+                "deadlock",
+                cycle,
+                f"no buffer event for {self._stalled_for} cycles with "
+                f"{self.fabric.in_flight_flits} flit(s) in the "
+                "network\n" + self._dependency_witness(),
+            )
+
+    def _dependency_witness(self) -> str:
+        """Channel-dependency-graph cycle witness (or a stall summary).
+
+        Nodes are (subnet, node, in_port, vc) channels holding a head
+        flit; an edge points at the downstream channel whose full
+        buffer (exhausted credits / held output VC) blocks the head.
+        A cycle in this graph is a true circular wait.
+        """
+        graph: dict[Channel, list[Channel]] = {}
+        notes: dict[Channel, str] = {}
+        for network in self.fabric.subnets:
+            subnet = network.subnet
+            for router in network.routers:
+                for in_port in range(Port.COUNT):
+                    for vc, channel in enumerate(
+                        router.ports[in_port].vcs
+                    ):
+                        if not channel.fifo:
+                            continue
+                        key: Channel = (
+                            subnet, router.node, in_port, vc,
+                        )
+                        flit = channel.fifo[0]
+                        out_port = flit.route
+                        if out_port == Port.LOCAL:
+                            notes[key] = "ejecting (should progress)"
+                            graph[key] = []
+                            continue
+                        downstream = router.neighbor_router[out_port]
+                        if downstream is None:
+                            notes[key] = "routes off-mesh (!)"
+                            graph[key] = []
+                            continue
+                        if downstream.power_state != PowerState.ACTIVE:
+                            notes[key] = (
+                                "waiting for wakeup of node "
+                                f"{downstream.node} "
+                                f"({PowerState.NAMES[downstream.power_state]})"
+                            )
+                        dep_port = Port.OPPOSITE[out_port]
+                        if channel.out_port >= 0:
+                            dep_vcs: tuple[int, ...] = (channel.out_vc,)
+                        else:
+                            dep_vcs = vc_candidates(
+                                flit.packet.message_class,
+                                router.vcs_per_port,
+                            )
+                        edges = [
+                            (subnet, downstream.node, dep_port, dep_vc)
+                            for dep_vc in dep_vcs
+                            if router.credits[out_port][dep_vc] == 0
+                            or router.out_owner[out_port][dep_vc]
+                        ]
+                        graph[key] = edges
+        cycle_path = _find_cycle(graph)
+        if cycle_path is not None:
+            lines = ["channel-dependency cycle (circular wait):"]
+            for subnet, node, port, vc in cycle_path:
+                tag = notes.get((subnet, node, port, vc), "")
+                lines.append(
+                    f"  subnet {subnet} node {node} in-port "
+                    f"{Port.NAMES[port]} vc {vc}"
+                    + (f"  [{tag}]" if tag else "")
+                )
+            return "\n".join(lines)
+        lines = ["no dependency cycle found; blocked head flits:"]
+        for key in sorted(graph):
+            subnet, node, port, vc = key
+            tag = notes.get(key, "blocked on downstream buffer")
+            lines.append(
+                f"  subnet {subnet} node {node} in-port "
+                f"{Port.NAMES[port]} vc {vc}: {tag}"
+            )
+            if len(lines) > 20:
+                lines.append(f"  ... ({len(graph)} blocked channels)")
+                break
+        return "\n".join(lines)
+
+
+class _RingCensus:
+    """Counts of link-in-flight flits of one subnet, by destination."""
+
+    __slots__ = ("per_channel", "per_router", "total")
+
+    def __init__(self, network: "SubnetNetwork") -> None:
+        per_channel: dict[tuple[int, int, int], int] = {}
+        per_router: dict[int, int] = {}
+        total = 0
+        for router, in_port, vc, _flit in network.in_flight():
+            channel_key = (id(router), in_port, vc)
+            per_channel[channel_key] = per_channel.get(channel_key, 0) + 1
+            per_router[id(router)] = per_router.get(id(router), 0) + 1
+            total += 1
+        self.per_channel = per_channel
+        self.per_router = per_router
+        self.total = total
+
+
+def _find_cycle(
+    graph: dict[Channel, list[Channel]]
+) -> list[Channel] | None:
+    """First cycle in ``graph`` via iterative three-color DFS."""
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color: dict[Channel, int] = {node: WHITE for node in graph}
+    parent: dict[Channel, Channel | None] = {}
+    for start in sorted(graph):
+        if color[start] != WHITE:
+            continue
+        stack: list[tuple[Channel, Iterator[Channel]]] = [
+            (start, iter(graph[start]))
+        ]
+        color[start] = GRAY
+        parent[start] = None
+        while stack:
+            node, edges = stack[-1]
+            advanced = False
+            for nxt in edges:
+                if nxt not in graph:
+                    continue
+                if color[nxt] == GRAY:
+                    # Found a back edge: unwind the cycle.
+                    path = [node]
+                    walk = node
+                    while walk != nxt:
+                        step = parent[walk]
+                        if step is None:
+                            break
+                        walk = step
+                        path.append(walk)
+                    path.reverse()
+                    return path
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent[nxt] = node
+                    stack.append((nxt, iter(graph[nxt])))
+                    advanced = True
+                    break
+            if not advanced:
+                color[node] = BLACK
+                stack.pop()
+    return None

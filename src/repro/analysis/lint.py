@@ -1,0 +1,599 @@
+"""Simulator-specific static lint passes (rules SIM001–SIM006).
+
+A cycle-level simulator has failure modes generic linters do not look
+for: a single unseeded ``random()`` call or an iteration over a ``set``
+whose order leaks into simulation state silently breaks the
+jobs=1-vs-N byte-identity guarantee of the sweep runner and poisons the
+on-disk result cache.  This module walks Python ASTs and reports:
+
+``SIM001``
+    Use of stdlib ``random`` / ``numpy.random`` outside
+    ``repro.util.rng`` — all simulator randomness must flow through
+    :class:`repro.util.rng.DeterministicRng` named substreams.
+``SIM002``
+    Iteration over a ``set``/``frozenset`` where the order can reach
+    simulation state (``dict`` iteration is insertion-ordered and
+    therefore allowed).  Wrap the iterable in ``sorted(...)``.
+``SIM003``
+    Wall-clock reads (``time.time``, ``datetime.now``, …).  Simulation
+    code must use the cycle counter; timing code must use
+    ``time.perf_counter`` (monotonic).
+``SIM004``
+    Mutable default arguments (classic aliasing-across-calls bug).
+``SIM005``
+    Float ``==`` / ``!=`` comparison in convergence or threshold
+    logic; use ``math.isclose`` or an explicit tolerance.
+``SIM006``
+    ``assert`` guarding simulator state in ``repro.noc`` /
+    ``repro.core`` / ``repro.traffic`` / ``repro.system`` — stripped
+    under ``python -O``; raise ``RuntimeError`` instead.
+
+Rules that only make sense for simulation-state code (SIM002, SIM006)
+are scoped to the simulator packages; files whose module cannot be
+determined (e.g. scratch files under ``/tmp``) are treated as in-scope
+so seeded-violation fixtures always trip their rules.
+
+The committed baseline (``lint-baseline.json`` at the repository root)
+records pre-existing violations by a line-number-independent
+fingerprint; with a baseline active, only *new* violations fail the
+run.  See ``docs/analysis.md``.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator
+
+__all__ = [
+    "LINT_RULES",
+    "SIM_STATE_PACKAGES",
+    "Rule",
+    "Violation",
+    "Baseline",
+    "lint_source",
+    "lint_file",
+    "lint_paths",
+    "iter_python_files",
+    "default_target",
+    "default_baseline_path",
+]
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: identity, severity, and the fix it suggests."""
+
+    code: str
+    title: str
+    severity: str  # "error" | "warning"
+    hint: str
+
+
+LINT_RULES: dict[str, Rule] = {
+    rule.code: rule
+    for rule in (
+        Rule(
+            "SIM001",
+            "unseeded randomness outside repro.util.rng",
+            "error",
+            "draw from repro.util.rng.DeterministicRng (named "
+            "substreams) so adding a consumer never perturbs others",
+        ),
+        Rule(
+            "SIM002",
+            "iteration over a set where order reaches simulation state",
+            "error",
+            "iterate sorted(<set>) (or keep a list/dict); set order "
+            "varies with hash seeding and breaks run-to-run identity",
+        ),
+        Rule(
+            "SIM003",
+            "wall-clock read in simulator or measurement code",
+            "error",
+            "use the simulation cycle counter for model time and "
+            "time.perf_counter() for elapsed wall time",
+        ),
+        Rule(
+            "SIM004",
+            "mutable default argument",
+            "error",
+            "default to None and create the object inside the "
+            "function body",
+        ),
+        Rule(
+            "SIM005",
+            "float equality in convergence/threshold comparison",
+            "warning",
+            "use math.isclose(...) or an explicit tolerance",
+        ),
+        Rule(
+            "SIM006",
+            "assert guarding simulator state (stripped under python -O)",
+            "error",
+            "raise RuntimeError(...) so the guard survives python -O",
+        ),
+    )
+}
+
+#: Packages whose state is simulation state: SIM002/SIM006 apply here.
+SIM_STATE_PACKAGES = (
+    "repro.noc",
+    "repro.core",
+    "repro.traffic",
+    "repro.system",
+)
+
+#: The one module allowed to touch stdlib ``random`` (SIM001).
+_RNG_MODULE = "repro.util.rng"
+
+_WALLCLOCK_TIME_ATTRS = {"time", "time_ns", "clock"}
+_WALLCLOCK_DATE_ATTRS = {"now", "utcnow", "today"}
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "frozenset",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "Counter",
+    "OrderedDict",
+}
+_ITER_TRANSPARENT = {"enumerate", "list", "tuple", "reversed", "iter"}
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One lint finding, with enough identity for stable baselining."""
+
+    rule: str
+    path: str  # repository-style relative path (or basename)
+    line: int
+    col: int
+    message: str
+    scope: str  # enclosing qualname ("<module>" at top level)
+    snippet: str  # stripped source line, for fingerprints & reports
+
+    @property
+    def severity(self) -> str:
+        return LINT_RULES[self.rule].severity
+
+    @property
+    def hint(self) -> str:
+        return LINT_RULES[self.rule].hint
+
+    def fingerprint(self) -> str:
+        """Line-number-independent identity used by the baseline.
+
+        Keyed on (rule, file, enclosing scope, source text) so adding
+        or removing unrelated lines above a known violation does not
+        make it read as new.
+        """
+        return f"{self.rule}|{self.path}|{self.scope}|{self.snippet}"
+
+    def render(self, show_hint: bool = True) -> str:
+        text = (
+            f"{self.path}:{self.line}:{self.col}: {self.rule} "
+            f"[{self.severity}] {self.message}"
+        )
+        if show_hint:
+            text += f"\n    fix: {self.hint}"
+        return text
+
+
+def _module_of(path: Path) -> str | None:
+    """Dotted module for ``path`` when it lives under a ``repro`` tree."""
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            dotted = ".".join(parts[index:])
+            if dotted.endswith(".py"):
+                dotted = dotted[: -len(".py")]
+            if dotted.endswith(".__init__"):
+                dotted = dotted[: -len(".__init__")]
+            return dotted
+    return None
+
+
+def _relpath_of(path: Path) -> str:
+    """Stable repository-style path for reports and fingerprints."""
+    parts = path.resolve().parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index:])
+    return path.name
+
+
+class _LintVisitor(ast.NodeVisitor):
+    """Single-pass collector for all SIM rules over one module."""
+
+    def __init__(
+        self, relpath: str, module: str | None, source_lines: list[str]
+    ) -> None:
+        self.relpath = relpath
+        self.module = module
+        self.lines = source_lines
+        self.violations: list[Violation] = []
+        self._scope: list[str] = []
+        # Local names known to be bound to sets, per function scope.
+        self._set_names: list[set[str]] = [set()]
+
+    # -- helpers -------------------------------------------------------
+
+    def _in_sim_state_code(self) -> bool:
+        if self.module is None:
+            return True  # unknown module: keep scoped rules active
+        return self.module.startswith(SIM_STATE_PACKAGES)
+
+    def _in_repro(self) -> bool:
+        return self.module is None or self.module.startswith("repro")
+
+    def _rng_module(self) -> bool:
+        return self.module == _RNG_MODULE
+
+    def _snippet(self, node: ast.AST) -> str:
+        line = getattr(node, "lineno", 0)
+        if 1 <= line <= len(self.lines):
+            return self.lines[line - 1].strip()
+        return ""
+
+    def _record(self, rule: str, node: ast.AST, message: str) -> None:
+        self.violations.append(
+            Violation(
+                rule=rule,
+                path=self.relpath,
+                line=getattr(node, "lineno", 0),
+                col=getattr(node, "col_offset", 0),
+                message=message,
+                scope=".".join(self._scope) or "<module>",
+                snippet=self._snippet(node),
+            )
+        )
+
+    # -- scope tracking ------------------------------------------------
+
+    def _visit_scoped(self, node: ast.AST, name: str, function: bool) -> None:
+        self._scope.append(name)
+        if function:
+            self._set_names.append(set())
+        self.generic_visit(node)
+        if function:
+            self._set_names.pop()
+        self._scope.pop()
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._visit_scoped(node, node.name, function=False)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scoped(node, node.name, function=True)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self._visit_scoped(node, node.name, function=True)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- SIM001: unseeded randomness ----------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        if not self._rng_module():
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith(
+                    "numpy.random"
+                ):
+                    self._record(
+                        "SIM001",
+                        node,
+                        f"import of {alias.name!r} outside repro.util.rng",
+                    )
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if not self._rng_module():
+            module = node.module or ""
+            if module == "random" or module.startswith("numpy.random"):
+                self._record(
+                    "SIM001",
+                    node,
+                    f"import from {module!r} outside repro.util.rng",
+                )
+            elif module == "numpy" and any(
+                alias.name == "random" for alias in node.names
+            ):
+                self._record(
+                    "SIM001",
+                    node,
+                    "import of numpy.random outside repro.util.rng",
+                )
+        if node.module == "time" and self._in_repro():
+            names = {alias.name for alias in node.names}
+            for name in sorted(names & _WALLCLOCK_TIME_ATTRS):
+                self._record(
+                    "SIM003",
+                    node,
+                    f"'from time import {name}' imports a wall-clock "
+                    "source",
+                )
+        self.generic_visit(node)
+
+    # -- SIM002: set iteration ----------------------------------------
+
+    def _tracks_set_binding(self, value: ast.expr) -> bool:
+        if isinstance(value, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+            return value.func.id in ("set", "frozenset")
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._tracks_set_binding(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        is_set = node.value is not None and self._tracks_set_binding(
+            node.value
+        )
+        annotation = ast.unparse(node.annotation) if node.annotation else ""
+        if annotation.startswith(("set", "frozenset", "Set", "FrozenSet")):
+            is_set = True
+        if is_set and isinstance(node.target, ast.Name):
+            self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    def _order_dependent_iterable(self, node: ast.expr) -> bool:
+        """True when iterating ``node`` observes set ordering."""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name == "sorted":
+                return False
+            if name in ("set", "frozenset"):
+                return True
+            if name in _ITER_TRANSPARENT and node.args:
+                return self._order_dependent_iterable(node.args[0])
+            return False
+        if isinstance(node, ast.Name):
+            return any(node.id in names for names in self._set_names)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitAnd, ast.BitOr, ast.BitXor, ast.Sub)
+        ):
+            # set algebra: a | b, a & b, a - b over known sets
+            return self._order_dependent_iterable(
+                node.left
+            ) or self._order_dependent_iterable(node.right)
+        return False
+
+    def _check_iteration(self, iterable: ast.expr) -> None:
+        if self._in_sim_state_code() and self._order_dependent_iterable(
+            iterable
+        ):
+            self._record(
+                "SIM002",
+                iterable,
+                "iteration order over a set is not deterministic "
+                "across processes",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iteration(node.iter)
+        self.generic_visit(node)
+
+    # -- SIM003: wall-clock calls -------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._in_repro():
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                base = func.value
+                base_name = (
+                    base.id
+                    if isinstance(base, ast.Name)
+                    else base.attr
+                    if isinstance(base, ast.Attribute)
+                    else None
+                )
+                if (
+                    func.attr in _WALLCLOCK_TIME_ATTRS
+                    and base_name == "time"
+                ):
+                    self._record(
+                        "SIM003",
+                        node,
+                        f"time.{func.attr}() reads the wall clock "
+                        "(not monotonic)",
+                    )
+                elif func.attr in _WALLCLOCK_DATE_ATTRS and base_name in (
+                    "datetime",
+                    "date",
+                ):
+                    self._record(
+                        "SIM003",
+                        node,
+                        f"{base_name}.{func.attr}() reads the wall clock",
+                    )
+        self.generic_visit(node)
+
+    # -- SIM004: mutable defaults -------------------------------------
+
+    def _check_defaults(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+            )
+            if mutable:
+                self._record(
+                    "SIM004",
+                    default,
+                    "mutable default argument is shared across calls",
+                )
+
+    # -- SIM005: float equality ---------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        has_eq = any(
+            isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+        )
+        if has_eq:
+            operands = [node.left, *node.comparators]
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self._record(
+                    "SIM005",
+                    node,
+                    "float equality comparison is brittle under "
+                    "rounding",
+                )
+        self.generic_visit(node)
+
+    # -- SIM006: strippable asserts -----------------------------------
+
+    def visit_Assert(self, node: ast.Assert) -> None:
+        if self._in_sim_state_code():
+            self._record(
+                "SIM006",
+                node,
+                "assert guards simulator state but vanishes under "
+                "python -O",
+            )
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: Path | str = "<string>"
+) -> list[Violation]:
+    """Lint Python ``source``; ``path`` scopes the package-aware rules."""
+    path = Path(path)
+    tree = ast.parse(source, filename=str(path))
+    visitor = _LintVisitor(
+        _relpath_of(path), _module_of(path), source.splitlines()
+    )
+    visitor.visit(tree)
+    return sorted(
+        visitor.violations, key=lambda v: (v.path, v.line, v.col, v.rule)
+    )
+
+
+def lint_file(path: Path | str) -> list[Violation]:
+    """Lint one file on disk."""
+    path = Path(path)
+    return lint_source(path.read_text(), path)
+
+
+def iter_python_files(paths: Iterable[Path | str]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            yield from sorted(entry.rglob("*.py"))
+        else:
+            yield entry
+
+
+def lint_paths(paths: Iterable[Path | str]) -> list[Violation]:
+    """Lint every Python file under ``paths`` (files or directories)."""
+    violations: list[Violation] = []
+    for path in iter_python_files(paths):
+        violations.extend(lint_file(path))
+    return violations
+
+
+def default_target() -> Path:
+    """The installed ``repro`` package tree (the default lint target)."""
+    return Path(__file__).resolve().parents[1]
+
+
+def default_baseline_path() -> Path:
+    """``lint-baseline.json`` at the repository root (may not exist)."""
+    return Path(__file__).resolve().parents[3] / "lint-baseline.json"
+
+
+@dataclass
+class Baseline:
+    """Accepted pre-existing violations, keyed by fingerprint counts."""
+
+    entries: dict[str, int] = field(default_factory=dict)
+
+    VERSION = 1
+
+    @classmethod
+    def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":
+        entries: dict[str, int] = {}
+        for violation in violations:
+            key = violation.fingerprint()
+            entries[key] = entries.get(key, 0) + 1
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Baseline":
+        payload = json.loads(Path(path).read_text())
+        if payload.get("version") != cls.VERSION:
+            raise ValueError(
+                f"unsupported baseline version {payload.get('version')!r} "
+                f"in {path}"
+            )
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            raise ValueError(f"malformed baseline entries in {path}")
+        return cls({str(k): int(v) for k, v in entries.items()})
+
+    def save(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(
+                {
+                    "version": self.VERSION,
+                    "tool": "repro.analysis.lint",
+                    "entries": dict(sorted(self.entries.items())),
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    def filter_new(
+        self, violations: Iterable[Violation]
+    ) -> list[Violation]:
+        """Violations not covered by the baseline (order preserved).
+
+        Each baseline entry absorbs up to its recorded count of
+        matching violations; anything beyond that is new.
+        """
+        budget = dict(self.entries)
+        fresh: list[Violation] = []
+        for violation in violations:
+            key = violation.fingerprint()
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+            else:
+                fresh.append(violation)
+        return fresh

@@ -64,7 +64,9 @@ class BufferMaxMetric(LocalCongestionMetric):
     def __init__(self, threshold_flits: int) -> None:
         self.threshold_flits = threshold_flits
 
-    def evaluate(self, cycle, router, ni):
+    def evaluate(
+        self, cycle: int, router: "Router", ni: "NetworkInterface"
+    ) -> bool:
         # The max over ports can't reach the threshold unless the whole
         # router holds at least that many flits (cheap early-out).
         if router.buffered_flits < self.threshold_flits:
@@ -82,7 +84,9 @@ class BufferAverageMetric(LocalCongestionMetric):
     def __init__(self, threshold_flits: float) -> None:
         self.threshold_flits = threshold_flits
 
-    def evaluate(self, cycle, router, ni):
+    def evaluate(
+        self, cycle: int, router: "Router", ni: "NetworkInterface"
+    ) -> bool:
         # mean >= threshold requires total >= threshold * num_ports.
         if router.buffered_flits < self.threshold_flits * 5:
             return False
@@ -104,7 +108,9 @@ class InjectionRateMetric(LocalCongestionMetric):
         self.threshold = threshold
         self.window = window
 
-    def evaluate(self, cycle, router, ni):
+    def evaluate(
+        self, cycle: int, router: "Router", ni: "NetworkInterface"
+    ) -> bool:
         return ni.subnet_injection_rate(router.subnet) >= self.threshold
 
 
@@ -121,7 +127,9 @@ class InjectionQueueMetric(LocalCongestionMetric):
         self.threshold_flits = threshold_flits
         self.capacity_flits = capacity_flits
 
-    def evaluate(self, cycle, router, ni):
+    def evaluate(
+        self, cycle: int, router: "Router", ni: "NetworkInterface"
+    ) -> bool:
         occupancy = min(ni.queue_occupancy_flits(), self.capacity_flits)
         return occupancy >= self.threshold_flits
 
@@ -143,7 +151,9 @@ class BlockingDelayMetric(LocalCongestionMetric):
         self._last_blocked = 0
         self._last_moved = 0
 
-    def evaluate(self, cycle, router, ni):
+    def evaluate(
+        self, cycle: int, router: "Router", ni: "NetworkInterface"
+    ) -> bool:
         if cycle % self.sample_period == 0:
             blocked = router.blocked_accum - self._last_blocked
             moved = router.moved_accum - self._last_moved

@@ -230,6 +230,18 @@ class PowerGatingController:
         state.sleep_start = -1
 
     # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def state_of(self, router: Router) -> _RouterGatingState:
+        """The controller's bookkeeping record for ``router``.
+
+        Read-only view for diagnostics and the runtime invariant
+        checker (:mod:`repro.analysis.invariants`), which cross-checks
+        it against the router's actual power state every cycle.
+        """
+        return self._state[id(router)]
+
+    # ------------------------------------------------------------------
     # Finalization and summaries
     # ------------------------------------------------------------------
     def finalize(self, cycle: int) -> None:

@@ -43,6 +43,12 @@ __all__ = [
 class SubnetSelectionPolicy(ABC):
     """Chooses the subnet the head packet of a node is injected into."""
 
+    #: True for policies that guarantee strict lowest-first priority
+    #: (never skipping a non-congested lower-order subnet).  The
+    #: runtime invariant checker re-verifies this guarantee per
+    #: selection when ``REPRO_CHECK=1``.
+    strict_priority = False
+
     def __init__(self, num_subnets: int) -> None:
         if num_subnets < 1:
             raise ValueError("num_subnets must be >= 1")
@@ -62,6 +68,8 @@ class SubnetSelectionPolicy(ABC):
 class CatnapPolicy(SubnetSelectionPolicy):
     """Priority ordering with congestion-driven escalation."""
 
+    strict_priority = True
+
     def __init__(
         self, num_subnets: int, monitor: CongestionMonitor, num_nodes: int
     ) -> None:
@@ -69,7 +77,9 @@ class CatnapPolicy(SubnetSelectionPolicy):
         self.monitor = monitor
         self._rr = [0] * num_nodes
 
-    def select(self, node, cycle, packet=None):
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
         monitor = self.monitor
         for subnet in range(self.num_subnets):
             if not monitor.is_congested(node, subnet):
@@ -87,7 +97,9 @@ class RoundRobinPolicy(SubnetSelectionPolicy):
         super().__init__(num_subnets)
         self._rr = [0] * num_nodes
 
-    def select(self, node, cycle, packet=None):
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
         choice = self._rr[node]
         self._rr[node] = (choice + 1) % self.num_subnets
         return choice
@@ -100,7 +112,9 @@ class RandomPolicy(SubnetSelectionPolicy):
         super().__init__(num_subnets)
         self._rng = rng
 
-    def select(self, node, cycle, packet=None):
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
         return self._rng.randrange(self.num_subnets)
 
 
@@ -125,7 +139,9 @@ class ClassPartitionPolicy(SubnetSelectionPolicy):
             MessageClass.SYNTHETIC: range(0, num_subnets),
         }
 
-    def select(self, node, cycle, packet=None):
+    def select(
+        self, node: int, cycle: int, packet: "Packet | None" = None
+    ) -> int:
         if packet is None:
             candidates = range(self.num_subnets)
         else:

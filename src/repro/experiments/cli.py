@@ -7,6 +7,8 @@ Usage::
     catnap-experiments all --scale 0.25 --out results/
     catnap-experiments fig10 --jobs 8 --progress     # parallel sweep
     catnap-experiments fig10 --no-cache              # force re-simulation
+    catnap-experiments fig06 --check                 # invariant-checked
+    catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
 writes ``<name>.txt`` into the given directory.  Sweep execution is
@@ -149,6 +151,14 @@ class _TallyObserver(runner.SweepObserver):
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analysis":
+        # ``catnap-experiments analysis lint ...`` forwards to the
+        # static-analysis CLI so one entry point covers both halves.
+        from repro.analysis.cli import main as analysis_main
+
+        return analysis_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="catnap-experiments",
         description="Regenerate the Catnap paper's figures and tables.",
@@ -194,6 +204,12 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="print one line per completed sweep point to stderr",
     )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="run with REPRO_CHECK=1: every simulated fabric verifies "
+        "cycle-level invariants (see docs/analysis.md)",
+    )
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
         for name in EXPERIMENTS:
@@ -207,6 +223,14 @@ def main(argv: list[str] | None = None) -> int:
         os.environ["REPRO_NO_CACHE"] = "1"
     if args.cache_dir is not None:
         os.environ["REPRO_CACHE_DIR"] = str(args.cache_dir)
+    if args.check:
+        # Environment (not a parameter) so forked sweep workers attach
+        # the checker to every fabric they construct.  Checked results
+        # must not poison the shared cache of unchecked runs — a run
+        # that only *reads* would also hide a violation inside a
+        # cached point — so caching is disabled wholesale.
+        os.environ["REPRO_CHECK"] = "1"
+        os.environ["REPRO_NO_CACHE"] = "1"
     if args.experiment == "all":
         names = list(PAPER_EXPERIMENTS)
     elif args.experiment == "ablations":
@@ -218,10 +242,12 @@ def main(argv: list[str] | None = None) -> int:
     try:
         for name in names:
             tally.reset()
-            started = time.time()
+            # perf_counter, not time.time: wall-clock is not monotonic
+            # (NTP steps would corrupt the elapsed figure) — SIM003.
+            started = time.perf_counter()
             result = run_experiment(name, args.scale)
             table = render_experiment(result)
-            elapsed = time.time() - started
+            elapsed = time.perf_counter() - started
             print(table)
             print(
                 f"[{name} finished in {elapsed:.1f}s{tally.summary()}]\n"

@@ -173,7 +173,8 @@ class NetworkInterface:
         """Assign the head packet to a subnet; return it (or -1)."""
         if not self.queue:
             return -1
-        assert self.policy is not None, "NI has no selection policy"
+        if self.policy is None:
+            raise RuntimeError("NI has no selection policy")
         packet = self.queue[0]
         subnet = self.policy.select(self.node, cycle, packet)
         slots = self._slots[subnet]

@@ -14,6 +14,7 @@ and experiment drivers need.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Callable
 
@@ -107,6 +108,15 @@ class MultiNocFabric:
             for network in self.subnets:
                 for router in network.routers:
                     router.track_blocking = True
+        # Runtime invariant checking (repro.analysis.invariants): the
+        # checker shadows ``step`` on this instance only, so unchecked
+        # fabrics keep the unhooked fast path with zero overhead.
+        self.invariant_checker = None
+        check = os.environ.get("REPRO_CHECK", "")
+        if check and check != "0":
+            from repro.analysis.invariants import InvariantChecker
+
+            self.invariant_checker = InvariantChecker(self).attach()
 
     # ------------------------------------------------------------------
     # Plumbing

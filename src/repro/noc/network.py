@@ -153,7 +153,8 @@ class SubnetNetwork:
         if flit.is_tail:
             counters.packets_ejected += 1
         self.flits_in_network -= 1
-        assert self.eject_sink is not None, "no ejection sink installed"
+        if self.eject_sink is None:
+            raise RuntimeError("no ejection sink installed")
         self.eject_sink(flit, self.subnet, node, cycle)
 
     def request_wakeup(self, router: Router, requester_node: int) -> None:
@@ -185,6 +186,18 @@ class SubnetNetwork:
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    def in_flight(self):
+        """Yield every link-in-flight flit as (router, in_port, vc, flit).
+
+        ``router`` is the destination the flit will land at.  Used by
+        the runtime invariant checker (:mod:`repro.analysis.invariants`)
+        to recount credits and conservation laws from first principles;
+        the delay-line internals stay private to this class.
+        """
+        for slot in self._ring:
+            for router, in_port, vc, flit in slot:
+                yield router, in_port, vc, flit
+
     @property
     def is_idle(self) -> bool:
         """True when no flit is buffered or in flight in this subnet."""

@@ -185,7 +185,8 @@ class Router:
         if self.buffered_flits == 0:
             return
         network = self.network
-        assert network is not None, "router not attached to a network"
+        if network is None:
+            raise RuntimeError("router not attached to a network")
         scan = self._scan
         total = len(scan)
         offset = self._rr
@@ -255,7 +256,8 @@ class Router:
                 f"port {Port.NAMES[out_port]}"
             )
         if downstream.power_state:
-            assert self.network is not None
+            if self.network is None:
+                raise RuntimeError("router not attached to a network")
             self.network.request_wakeup(downstream, self.node)
             return False
         owner = self.out_owner[out_port]
@@ -297,7 +299,8 @@ class Router:
         # Look-ahead routing: compute the output port the flit will take
         # at the downstream router while it traverses this switch.
         network = self.network
-        assert network is not None
+        if network is None:
+            raise RuntimeError("router not attached to a network")
         table = self._route_table
         if table is not None:
             flit.route = table[
@@ -323,5 +326,6 @@ class Router:
         if flit.is_tail and channel.has_allocation:
             channel.release_allocation()
         network = self.network
-        assert network is not None
+        if network is None:
+            raise RuntimeError("router not attached to a network")
         network.eject(flit, self.node, cycle)

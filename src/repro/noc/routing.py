@@ -84,7 +84,8 @@ class XYRouting:
         current = src
         while current != dst:
             nxt = self.next_hop(current, dst)
-            assert nxt is not None, "X-Y routing must always progress"
+            if nxt is None:
+                raise RuntimeError("X-Y routing must always progress")
             path.append(nxt)
             current = nxt
         return path

@@ -1,0 +1,357 @@
+"""Static lint passes: every SIM rule, scoping, baseline, and CLI."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis.cli import main as analysis_main
+from repro.analysis.lint import (
+    LINT_RULES,
+    Baseline,
+    default_baseline_path,
+    default_target,
+    lint_paths,
+    lint_source,
+)
+
+#: Path prefixes used to exercise package-aware scoping.
+SIM_PATH = "src/repro/noc/fake_module.py"
+EXP_PATH = "src/repro/experiments/fake_module.py"
+RNG_PATH = "src/repro/util/rng.py"
+
+
+def rules_of(source: str, path: str = SIM_PATH) -> list[str]:
+    return [v.rule for v in lint_source(textwrap.dedent(source), path)]
+
+
+# ----------------------------------------------------------------------
+# Rule catalogue basics
+# ----------------------------------------------------------------------
+
+
+def test_rule_catalogue_is_complete():
+    assert sorted(LINT_RULES) == [
+        "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
+    ]
+    for rule in LINT_RULES.values():
+        assert rule.severity in ("error", "warning")
+        assert rule.hint
+
+
+# ----------------------------------------------------------------------
+# SIM001 — unseeded randomness
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import random\n",
+        "from random import randrange\n",
+        "import numpy.random\n",
+        "from numpy import random\n",
+        "from numpy.random import default_rng\n",
+    ],
+)
+def test_sim001_flags_random_imports(snippet):
+    assert "SIM001" in rules_of(snippet)
+
+
+def test_sim001_exempts_the_rng_module():
+    assert rules_of("import random\n", RNG_PATH) == []
+
+
+def test_sim001_allows_deterministic_rng():
+    snippet = "from repro.util.rng import DeterministicRng\n"
+    assert "SIM001" not in rules_of(snippet)
+
+
+# ----------------------------------------------------------------------
+# SIM002 — set iteration order
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in {1, 2, 3}:\n    pass\n",
+        "for x in set(items):\n    pass\n",
+        "for x in frozenset(items):\n    pass\n",
+        "values = [x for x in set(items)]\n",
+        """
+        def f(items):
+            seen = set()
+            for x in seen:
+                pass
+        """,
+        """
+        def f():
+            pending: set[int] = set()
+            for x in pending:
+                pass
+        """,
+        "for x in enumerate(set(items)):\n    pass\n",
+    ],
+)
+def test_sim002_flags_set_iteration(snippet):
+    assert "SIM002" in rules_of(snippet)
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "for x in sorted(set(items)):\n    pass\n",
+        "for x in [1, 2, 3]:\n    pass\n",
+        "for k in mapping:\n    pass\n",  # dict order is deterministic
+        "for k, v in mapping.items():\n    pass\n",
+        "if x in {1, 2, 3}:\n    pass\n",  # membership, not iteration
+    ],
+)
+def test_sim002_allows_deterministic_iteration(snippet):
+    assert "SIM002" not in rules_of(snippet)
+
+
+def test_sim002_scoped_to_simulation_packages():
+    snippet = "for x in set(items):\n    pass\n"
+    assert "SIM002" in rules_of(snippet, SIM_PATH)
+    assert "SIM002" not in rules_of(snippet, EXP_PATH)
+    # Unknown modules stay in scope so fixture files always trip.
+    assert "SIM002" in rules_of(snippet, "/tmp/scratch.py")
+
+
+# ----------------------------------------------------------------------
+# SIM003 — wall-clock reads
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "import time\nt = time.time()\n",
+        "import time\nt = time.time_ns()\n",
+        "from datetime import datetime\nt = datetime.now()\n",
+        "import datetime\nt = datetime.datetime.utcnow()\n",
+        "from time import time\n",
+    ],
+)
+def test_sim003_flags_wall_clock(snippet):
+    assert "SIM003" in rules_of(snippet)
+
+
+def test_sim003_allows_perf_counter():
+    snippet = "import time\nt = time.perf_counter()\n"
+    assert "SIM003" not in rules_of(snippet)
+
+
+# ----------------------------------------------------------------------
+# SIM004 — mutable defaults
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "snippet",
+    [
+        "def f(x=[]):\n    pass\n",
+        "def f(x={}):\n    pass\n",
+        "def f(*, x=set()):\n    pass\n",
+        "def f(x=list()):\n    pass\n",
+        "g = lambda x=[]: x\n",
+    ],
+)
+def test_sim004_flags_mutable_defaults(snippet):
+    assert "SIM004" in rules_of(snippet)
+
+
+def test_sim004_allows_immutable_defaults():
+    snippet = "def f(x=None, y=(), z=0):\n    pass\n"
+    assert "SIM004" not in rules_of(snippet)
+
+
+# ----------------------------------------------------------------------
+# SIM005 — float equality
+# ----------------------------------------------------------------------
+
+
+def test_sim005_flags_float_equality():
+    assert "SIM005" in rules_of("done = rate == 0.5\n")
+    assert "SIM005" in rules_of("done = 1.5 != rate\n")
+
+
+def test_sim005_allows_int_and_ordering():
+    assert "SIM005" not in rules_of("done = count == 5\n")
+    assert "SIM005" not in rules_of("done = rate >= 0.5\n")
+
+
+# ----------------------------------------------------------------------
+# SIM006 — strippable asserts
+# ----------------------------------------------------------------------
+
+
+def test_sim006_flags_asserts_in_sim_code():
+    snippet = "assert credits >= 0\n"
+    assert "SIM006" in rules_of(snippet, SIM_PATH)
+    assert "SIM006" in rules_of(snippet, "src/repro/core/fake.py")
+
+
+def test_sim006_ignores_non_sim_packages():
+    assert "SIM006" not in rules_of(
+        "assert rows\n", EXP_PATH
+    )
+
+
+# ----------------------------------------------------------------------
+# The repository itself
+# ----------------------------------------------------------------------
+
+
+def test_repro_tree_has_no_new_violations():
+    """The committed baseline covers everything in src/repro."""
+    violations = lint_paths([default_target()])
+    baseline_path = default_baseline_path()
+    assert baseline_path.is_file(), "lint-baseline.json must be committed"
+    fresh = Baseline.load(baseline_path).filter_new(violations)
+    details = "\n".join(v.render(show_hint=False) for v in fresh)
+    assert not fresh, f"new lint violations:\n{details}"
+
+
+# ----------------------------------------------------------------------
+# Baseline workflow
+# ----------------------------------------------------------------------
+
+SEEDED = textwrap.dedent(
+    """
+    import random
+
+    def f(x={}):
+        assert x
+    """
+)
+
+
+def test_baseline_suppresses_known_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    violations = lint_paths([bad])
+    assert {v.rule for v in violations} == {"SIM001", "SIM004", "SIM006"}
+
+    baseline = Baseline.from_violations(violations)
+    assert baseline.filter_new(violations) == []
+
+
+def test_baseline_is_stable_under_line_shifts(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    baseline = Baseline.from_violations(lint_paths([bad]))
+
+    bad.write_text("# comment\n# another\n" + SEEDED)
+    shifted = lint_paths([bad])
+    assert shifted  # still found, at different line numbers
+    assert baseline.filter_new(shifted) == []
+
+
+def test_baseline_reports_only_new_violations(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    baseline = Baseline.from_violations(lint_paths([bad]))
+
+    bad.write_text(SEEDED + "\nimport random as rng2\n")
+    fresh = baseline.filter_new(lint_paths([bad]))
+    assert [v.rule for v in fresh] == ["SIM001"]
+
+
+def test_baseline_round_trips_through_disk(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    violations = lint_paths([bad])
+    path = tmp_path / "baseline.json"
+    Baseline.from_violations(violations).save(path)
+    assert Baseline.load(path).filter_new(violations) == []
+
+
+def test_baseline_rejects_unknown_version(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": {}}))
+    with pytest.raises(ValueError, match="version"):
+        Baseline.load(path)
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_exits_nonzero_on_seeded_violations(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    assert analysis_main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "SIM001" in out and "fix:" in out
+
+
+def test_cli_write_then_apply_baseline(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(SEEDED)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        analysis_main(
+            ["lint", str(bad), "--write-baseline", str(baseline)]
+        )
+        == 0
+    )
+    assert (
+        analysis_main(["lint", str(bad), "--baseline", str(baseline)])
+        == 0
+    )
+    # ... and a new violation still fails against that baseline.
+    bad.write_text(SEEDED + "\nfrom random import random\n")
+    assert (
+        analysis_main(["lint", str(bad), "--baseline", str(baseline)])
+        == 1
+    )
+    capsys.readouterr()
+
+
+def test_cli_json_format(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert analysis_main(["lint", str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload[0]["rule"] == "SIM001"
+    assert payload[0]["severity"] == "error"
+    assert payload[0]["hint"]
+
+
+def test_cli_missing_baseline_is_usage_error(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    missing = tmp_path / "nope.json"
+    assert (
+        analysis_main(["lint", str(bad), "--baseline", str(missing)])
+        == 2
+    )
+    capsys.readouterr()
+
+
+def test_cli_default_run_applies_committed_baseline(capsys):
+    """``python -m repro.analysis lint`` is green on the repo."""
+    assert analysis_main(["lint"]) == 0
+    capsys.readouterr()
+
+
+def test_cli_rules_catalogue(capsys):
+    assert analysis_main(["rules"]) == 0
+    out = capsys.readouterr().out
+    for code in LINT_RULES:
+        assert code in out
+
+
+def test_experiments_cli_forwards_analysis_subcommand(tmp_path, capsys):
+    from repro.experiments.cli import main as experiments_main
+
+    bad = tmp_path / "bad.py"
+    bad.write_text("import random\n")
+    assert experiments_main(["analysis", "lint", str(bad)]) == 1
+    assert "SIM001" in capsys.readouterr().out
