@@ -194,15 +194,23 @@ class PowerGatingController:
                 else:  # WAKEUP
                     stats.wakeup_cycles += 1
                     if cycle >= self._state[id(router)].wake_ready:
-                        router.power_state = PowerState.ACTIVE
-                        router.idle_cycles = 0
+                        self._wake_complete(router, cycle)
         pending.clear()
 
+    # The three transition methods below are the telemetry probe
+    # points: repro.telemetry shadows them with instance attributes to
+    # observe every power transition with its exact cycle, so the
+    # unhooked controller keeps the unconditional fast path (no
+    # listener branches).
     def _sleep(self, router: Router, cycle: int) -> None:
         router.power_state = PowerState.SLEEP
         state = self._state[id(router)]
         state.sleep_start = cycle
         self.stats[router.subnet].sleep_periods += 1
+
+    def _wake_complete(self, router: Router, cycle: int) -> None:
+        router.power_state = PowerState.ACTIVE
+        router.idle_cycles = 0
 
     def _begin_wakeup(
         self, router: Router, cycle: int, stats: GatingStats

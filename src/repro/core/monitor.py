@@ -115,6 +115,15 @@ class CongestionMonitor:
             return self.regional.rcs(subnet, node)
         return self.lcs[subnet][node]
 
+    def lcs_count(self, subnet: int) -> int:
+        """Number of nodes whose latched LCS is set for ``subnet``.
+
+        O(1): read from the count maintained by :meth:`update` (also
+        used for the idle-subnet fast path), so telemetry samplers can
+        poll it every period without scanning the LCS matrix.
+        """
+        return self._latched_count[subnet]
+
     def congested_fraction(self, subnet: int) -> float:
         """Fraction of nodes whose LCS is set (diagnostics)."""
         row = self.lcs[subnet]

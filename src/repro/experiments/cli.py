@@ -8,6 +8,7 @@ Usage::
     catnap-experiments fig10 --jobs 8 --progress     # parallel sweep
     catnap-experiments fig10 --no-cache              # force re-simulation
     catnap-experiments fig06 --check                 # invariant-checked
+    catnap-experiments fig06 --telemetry             # trace + time series
     catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
@@ -93,8 +94,35 @@ _CHART_SPECS: dict[str, list[tuple[str, str, str, dict]]] = {
 }
 
 
-def render_experiment(result) -> str:
-    """Table plus any ASCII charts for one experiment result."""
+#: Columns appended by ``--percentiles`` when every row carries them.
+_PERCENTILE_COLUMNS = ("latency_p50", "latency_p95", "latency_p99")
+
+
+def render_experiment(result, percentiles: bool = False) -> str:
+    """Table plus any ASCII charts for one experiment result.
+
+    With ``percentiles``, latency percentile columns are appended to
+    the table when the rows carry them; the default rendering is
+    byte-identical to the paper tables regardless of what extra keys
+    the rows hold (drivers pin their column lists explicitly).
+    """
+    if (
+        percentiles
+        and result.columns is not None
+        and result.rows
+        and all(
+            all(key in row for key in _PERCENTILE_COLUMNS)
+            for row in result.rows
+        )
+    ):
+        from dataclasses import replace as _replace
+
+        extra = [
+            key
+            for key in _PERCENTILE_COLUMNS
+            if key not in result.columns
+        ]
+        result = _replace(result, columns=result.columns + extra)
     parts = [result.to_table()]
     for x, y, group, criteria in _CHART_SPECS.get(result.name, []):
         parts.append("")
@@ -116,10 +144,11 @@ class _TallyObserver(runner.SweepObserver):
     """Accumulates hit/miss counts across the sweeps of one experiment,
     optionally echoing per-point progress lines to stderr."""
 
-    def __init__(self, progress: bool):
+    def __init__(self, progress: bool, extra: runner.SweepObserver | None = None):
         self.progress = (
             runner.ProgressObserver() if progress else None
         )
+        self.extra = extra
         self.reset()
 
     def reset(self) -> None:
@@ -130,6 +159,8 @@ class _TallyObserver(runner.SweepObserver):
     def sweep_started(self, total: int) -> None:
         if self.progress:
             self.progress.sweep_started(total)
+        if self.extra:
+            self.extra.sweep_started(total)
 
     def point_finished(self, index, spec, rows, elapsed, cached) -> None:
         self.points += 1
@@ -139,6 +170,12 @@ class _TallyObserver(runner.SweepObserver):
             self.misses += 1
         if self.progress:
             self.progress.point_finished(index, spec, rows, elapsed, cached)
+        if self.extra:
+            self.extra.point_finished(index, spec, rows, elapsed, cached)
+
+    def sweep_finished(self, stats) -> None:
+        if self.extra:
+            self.extra.sweep_finished(stats)
 
     def summary(self) -> str:
         if not self.points:
@@ -210,6 +247,26 @@ def main(argv: list[str] | None = None) -> int:
         help="run with REPRO_CHECK=1: every simulated fabric verifies "
         "cycle-level invariants (see docs/analysis.md)",
     )
+    parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="run with REPRO_TELEMETRY=1: every simulated fabric "
+        "records time series and a Perfetto trace under "
+        "results/telemetry/ (see docs/telemetry.md)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for telemetry artifacts (implies --telemetry)",
+    )
+    parser.add_argument(
+        "--percentiles",
+        action="store_true",
+        help="append latency p50/p95/p99 columns to tables that "
+        "carry them",
+    )
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
         for name in EXPERIMENTS:
@@ -231,13 +288,29 @@ def main(argv: list[str] | None = None) -> int:
         # cached point — so caching is disabled wholesale.
         os.environ["REPRO_CHECK"] = "1"
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.trace_out is not None:
+        os.environ["REPRO_TELEMETRY_DIR"] = str(args.trace_out)
+        args.telemetry = True
+    if args.telemetry:
+        # Environment (not a parameter) so forked sweep workers attach
+        # a hub to every fabric they construct.  A cache hit would skip
+        # the simulation entirely and silently produce no artifacts for
+        # that point, so caching is disabled wholesale (mirrors
+        # --check).
+        os.environ["REPRO_TELEMETRY"] = "1"
+        os.environ["REPRO_NO_CACHE"] = "1"
     if args.experiment == "all":
         names = list(PAPER_EXPERIMENTS)
     elif args.experiment == "ablations":
         names = [name for name in EXPERIMENTS if name.startswith("abl_")]
     else:
         names = [args.experiment]
-    tally = _TallyObserver(progress=args.progress)
+    extra = None
+    if args.telemetry:
+        from repro.telemetry.observer import TelemetryObserver
+
+        extra = TelemetryObserver()
+    tally = _TallyObserver(progress=args.progress, extra=extra)
     runner.set_default_observer(tally)
     try:
         for name in names:
@@ -246,7 +319,9 @@ def main(argv: list[str] | None = None) -> int:
             # (NTP steps would corrupt the elapsed figure) — SIM003.
             started = time.perf_counter()
             result = run_experiment(name, args.scale)
-            table = render_experiment(result)
+            table = render_experiment(
+                result, percentiles=args.percentiles
+            )
             elapsed = time.perf_counter() - started
             print(table)
             print(

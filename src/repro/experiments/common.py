@@ -174,6 +174,10 @@ def run_synthetic_point(
         "dynamic_w": power.dynamic_watts,
         "static_w": power.static_watts,
         "subnet_share": report.subnet_injection_share,
+        "latency_p50": report.latency_p50,
+        "latency_p95": report.latency_p95,
+        "latency_p99": report.latency_p99,
+        "avg_hops_per_subnet": report.avg_hops_per_subnet,
     }
 
 
@@ -198,5 +202,11 @@ def run_application_point(
         "dynamic_w": power.dynamic_watts,
         "static_w": power.static_watts,
         "subnet_share": list(result.fabric_report.subnet_injection_share),
+        "latency_p50": result.fabric_report.latency_p50,
+        "latency_p95": result.fabric_report.latency_p95,
+        "latency_p99": result.fabric_report.latency_p99,
+        "avg_hops_per_subnet": list(
+            result.fabric_report.avg_hops_per_subnet
+        ),
     }
     return row, result, power

@@ -70,7 +70,9 @@ __all__ = [
 
 #: Bump when row contents or spec hashing change incompatibly; every
 #: bump invalidates all previously cached points at once.
-CACHE_SCHEMA_VERSION = 1
+#: 2: synthetic/application rows gained latency percentile and
+#: per-subnet hop-count columns.
+CACHE_SCHEMA_VERSION = 2
 
 #: Default on-disk cache location (override with ``REPRO_CACHE_DIR``).
 DEFAULT_CACHE_DIR = Path("results") / ".cache"

@@ -55,6 +55,10 @@ class Packet:
         Cycle the tail flit was ejected at the destination.
     subnet:
         Subnet chosen at injection (-1 before injection).
+    hops:
+        Router-to-router link traversals of the head flit — under X-Y
+        routing this equals the Manhattan distance between ``src`` and
+        ``dst`` nodes (0 for tile pairs sharing a node).
     """
 
     src: int
@@ -66,6 +70,7 @@ class Packet:
     received_cycle: int = -1
     subnet: int = -1
     num_flits: int = 0
+    hops: int = 0
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: Opaque payload for closed-loop system simulation (e.g. the
     #: transaction this message belongs to).

@@ -120,6 +120,11 @@ class NetworkInterface:
         """Packets waiting in the NI queue (excludes streaming slots)."""
         return len(self.queue)
 
+    @property
+    def active_streams(self) -> int:
+        """Packets currently streaming flits on some (subnet, VC)."""
+        return self._active_slots
+
     def injection_rate(self) -> float:
         """Windowed average injection rate in packets/cycle (IR metric)."""
         return self._ir_rate

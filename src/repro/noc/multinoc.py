@@ -15,7 +15,7 @@ and experiment drivers need.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.core.gating import GatingStats, PowerGatingController
@@ -54,6 +54,14 @@ class FabricReport:
     offered_rate: float
     packets_received: int
     subnet_injection_share: list[float]
+    #: Window packet-latency percentiles from the bounded histogram in
+    #: :class:`repro.noc.stats.NetworkStats` (0.0 when no window).
+    latency_p50: float = 0.0
+    latency_p95: float = 0.0
+    latency_p99: float = 0.0
+    #: Mean hop count of received packets per carrying subnet (X-Y
+    #: routing ground truth; empty for analytic reports).
+    avg_hops_per_subnet: list[float] = field(default_factory=list)
 
     @property
     def csc_fraction(self) -> float:
@@ -69,6 +77,7 @@ class MultiNocFabric:
 
     def __init__(self, config: NocConfig, seed: int = 1) -> None:
         self.config = config
+        self.seed = seed
         self.mesh = ConcentratedMesh(
             config.mesh_cols, config.mesh_rows, config.tiles_per_node
         )
@@ -87,7 +96,7 @@ class MultiNocFabric:
         self.gating = PowerGatingController(
             config, self.subnets, self.monitor
         )
-        self.stats = NetworkStats(self.mesh.num_nodes)
+        self.stats = NetworkStats(self.mesh.num_nodes, config.num_subnets)
         self.cycle = 0
         #: Extra per-packet completion callback (used by the processor
         #: model to unblock cores).
@@ -117,6 +126,16 @@ class MultiNocFabric:
             from repro.analysis.invariants import InvariantChecker
 
             self.invariant_checker = InvariantChecker(self).attach()
+        # Telemetry (repro.telemetry): same per-instance shadowing
+        # contract — an unattached fabric keeps the unhooked class
+        # methods, so telemetry-off runs execute the identical code
+        # path as a build without the telemetry package.
+        self.telemetry = None
+        telemetry = os.environ.get("REPRO_TELEMETRY", "")
+        if telemetry and telemetry != "0":
+            from repro.telemetry.hub import TelemetryHub
+
+            self.telemetry = TelemetryHub.from_env(self).attach()
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -194,7 +213,7 @@ class MultiNocFabric:
         """
         for _ in range(max_cycles):
             if self.in_flight_flits == 0 and all(
-                not ni.queue and not ni._active_slots for ni in self.nis
+                not ni.queue and not ni.active_streams for ni in self.nis
             ):
                 return True
             self.step()
@@ -245,4 +264,8 @@ class MultiNocFabric:
             ),
             packets_received=self.stats.packets_received,
             subnet_injection_share=self.subnet_injection_share(),
+            latency_p50=self.stats.latency_percentile(0.50),
+            latency_p95=self.stats.latency_percentile(0.95),
+            latency_p99=self.stats.latency_percentile(0.99),
+            avg_hops_per_subnet=self.stats.average_hops_per_subnet(),
         )

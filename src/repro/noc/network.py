@@ -121,6 +121,10 @@ class SubnetNetwork:
         """
         slot = (cycle + self._hop_cycles) % self._ring_len
         self._ring[slot].append((downstream, in_port, vc, flit))
+        if flit.is_head:
+            # Head-flit link traversals count the packet's hops (its
+            # X-Y routing distance; validated against the topology).
+            flit.packet.hops += 1
         counters = self.counters
         counters.buffer_reads += 1
         counters.crossbar_traversals += 1

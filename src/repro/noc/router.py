@@ -166,6 +166,14 @@ class Router:
         """BFA input: mean flit occupancy over all input ports."""
         return sum(p.occupancy for p in self.ports) / Port.COUNT
 
+    def occupancy_by_port(self) -> tuple[int, ...]:
+        """Flit occupancy of each input port, indexed by ``Port``.
+
+        Telemetry samplers poll this for the per-router occupancy
+        heatmap; it is a read-only snapshot with no hot-loop cost.
+        """
+        return tuple(p.occupancy for p in self.ports)
+
     @property
     def is_drained(self) -> bool:
         """No buffered flits and none in flight toward this router."""

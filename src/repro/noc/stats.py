@@ -13,6 +13,7 @@ inside the window.
 from __future__ import annotations
 
 from repro.noc.flit import Packet
+from repro.util.histogram import BoundedHistogram
 
 __all__ = ["NetworkStats"]
 
@@ -20,14 +21,20 @@ __all__ = ["NetworkStats"]
 class NetworkStats:
     """Accumulates packet-level statistics for one fabric."""
 
-    def __init__(self, num_nodes: int) -> None:
+    def __init__(self, num_nodes: int, num_subnets: int = 1) -> None:
         self.num_nodes = num_nodes
+        self.num_subnets = num_subnets
         self.measure_start: int | None = None
         self.measure_end: int | None = None
         # Whole-run counters.
         self.packets_offered = 0
         self.packets_received = 0
         self.flits_received = 0
+        # Per-subnet hop counts over all received packets (routing
+        # ground truth: under X-Y the mean equals the mean Manhattan
+        # distance of the delivered traffic).
+        self.hops_sum = [0] * num_subnets
+        self.hops_packets = [0] * num_subnets
         # Measurement-window counters.
         self.window_offered = 0
         self.window_received = 0
@@ -35,6 +42,10 @@ class NetworkStats:
         self.window_latency_sum = 0
         self.window_network_latency_sum = 0
         self.window_latency_samples = 0
+        # Bounded end-to-end latency distribution of window packets
+        # (exact unit bins below 128 cycles, power-of-two tail), so
+        # reports can carry p50/p95/p99 without storing samples.
+        self.latency_histogram = BoundedHistogram()
 
     # ------------------------------------------------------------------
     # Window control
@@ -72,6 +83,9 @@ class NetworkStats:
         """A packet's tail flit was ejected at its destination."""
         self.packets_received += 1
         self.flits_received += packet.num_flits
+        if 0 <= packet.subnet < self.num_subnets:
+            self.hops_sum[packet.subnet] += packet.hops
+            self.hops_packets[packet.subnet] += 1
         if self._in_window(cycle):
             self.window_received += 1
             self.window_flits_received += packet.num_flits
@@ -79,6 +93,7 @@ class NetworkStats:
             self.window_latency_sum += packet.latency
             self.window_network_latency_sum += packet.network_latency
             self.window_latency_samples += 1
+            self.latency_histogram.record(packet.latency)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -96,6 +111,24 @@ class NetworkStats:
         return (
             self.window_network_latency_sum / self.window_latency_samples
         )
+
+    def latency_percentile(self, q: float) -> float:
+        """Window packet-latency quantile ``q`` in (0, 1] (0.0 empty)."""
+        return self.latency_histogram.percentile(q)
+
+    def average_hops_per_subnet(self) -> list[float]:
+        """Mean hop count of received packets, per carrying subnet."""
+        return [
+            self.hops_sum[s] / self.hops_packets[s]
+            if self.hops_packets[s]
+            else 0.0
+            for s in range(self.num_subnets)
+        ]
+
+    def average_hops(self) -> float:
+        """Mean hop count over all received packets (all subnets)."""
+        packets = sum(self.hops_packets)
+        return sum(self.hops_sum) / packets if packets else 0.0
 
     def throughput_packets(self) -> float:
         """Accepted packets per node per cycle during the window."""

@@ -1,0 +1,78 @@
+"""Telemetry command line: ``python -m repro.telemetry``.
+
+``validate`` checks trace files against the Chrome trace-event schema
+(:func:`repro.telemetry.trace.validate_trace`); directories are
+scanned for ``*.trace.json``.  Exit status 0 means every file checked
+out; 1 means a schema violation, unreadable file, or nothing to check
+— the CI smoke job relies on that contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.telemetry.trace import validate_trace
+
+__all__ = ["main"]
+
+
+def _trace_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            files.extend(
+                os.path.join(path, name)
+                for name in sorted(os.listdir(path))
+                if name.endswith(".trace.json")
+            )
+        else:
+            files.append(path)
+    return files
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Telemetry artifact tooling.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    validate = subparsers.add_parser(
+        "validate",
+        help="check trace files against the trace-event schema",
+    )
+    validate.add_argument(
+        "paths",
+        nargs="+",
+        help="trace files or directories containing *.trace.json",
+    )
+    args = parser.parse_args(argv)
+    files = _trace_files(args.paths)
+    if not files:
+        print("no trace files found", file=sys.stderr)
+        return 1
+    failures = 0
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"{path}: unreadable ({exc})")
+            failures += 1
+            continue
+        errors = validate_trace(doc)
+        if errors:
+            failures += 1
+            print(f"{path}: INVALID ({len(errors)} problem(s))")
+            for error in errors[:20]:
+                print(f"  {error}")
+        else:
+            events = len(doc.get("traceEvents", []))
+            print(f"{path}: ok ({events} events)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

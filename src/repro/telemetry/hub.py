@@ -1,0 +1,540 @@
+"""The telemetry hub: zero-overhead probes over a Multi-NoC fabric.
+
+``TelemetryHub`` observes one :class:`~repro.noc.multinoc.MultiNocFabric`
+by *shadowing* a handful of methods with per-instance attributes (the
+same contract as :class:`repro.analysis.invariants.InvariantChecker`):
+
+* ``fabric.step`` — drives the periodic time-series sampler and the
+  per-cycle LCS toggle diff;
+* ``fabric.report`` — autoflushes telemetry artifacts next to the
+  report when the hub was attached via the environment;
+* ``gating._sleep`` / ``_begin_wakeup`` / ``_wake_complete`` /
+  ``request_wakeup`` — record every power transition with its exact
+  cycle (O(1) per transition, no per-cycle scans);
+* ``monitor.regional.update`` — diffs the latched RCS bits at update
+  boundaries for toggle events and duty-cycle integration;
+* each ``ni.packet_sink`` — records packet lifetimes at tail ejection.
+
+Because shadowing only touches *instances*, a fabric without a hub
+executes the original unhooked class methods: telemetry-off runs take
+the identical code path as a build without this package.  Enable with
+``REPRO_TELEMETRY=1`` (see :func:`telemetry_enabled`); tune with
+``REPRO_TELEMETRY_PERIOD`` (sampling period, default 64 cycles),
+``REPRO_TELEMETRY_DIR`` (output directory, default
+``results/telemetry``) and ``REPRO_TELEMETRY_MAX_PACKETS`` (packet
+trace memory cap, default 20000 records).
+
+Accounting convention (matches :class:`repro.core.gating.GatingStats`,
+which counts each router's state at the *entry* of every controller
+step, before transitions): a sleep period entered at step ``c0`` and
+left at step ``c1`` contributes exactly ``c1 - c0`` sleep cycles; a
+period still open after ``N`` executed steps contributes
+``N - 1 - c0``.  The hub derives its per-subnet totals purely from
+transition events under this convention, so they reconcile exactly
+with the controller's own counters — the acceptance test for the
+probes.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.noc.router import PowerState, Router
+from repro.telemetry.samplers import TimeSeriesSampler
+from repro.telemetry.trace import build_chrome_trace
+from repro.util.ascii_plot import bar_chart
+from repro.util.histogram import BoundedHistogram
+
+if TYPE_CHECKING:
+    from repro.core.gating import GatingStats
+    from repro.noc.flit import Packet
+    from repro.noc.multinoc import MultiNocFabric
+
+__all__ = ["TelemetryHub", "telemetry_enabled", "maybe_attach"]
+
+#: Defaults for the environment knobs.
+DEFAULT_PERIOD = 64
+DEFAULT_DIR = os.path.join("results", "telemetry")
+DEFAULT_MAX_PACKETS = 20_000
+
+
+def telemetry_enabled() -> bool:
+    """True when ``REPRO_TELEMETRY`` asks for fabric telemetry."""
+    value = os.environ.get("REPRO_TELEMETRY", "")
+    return value not in ("", "0")
+
+
+def maybe_attach(fabric: "MultiNocFabric") -> "TelemetryHub | None":
+    """Attach a hub to ``fabric`` when ``REPRO_TELEMETRY`` is set."""
+    if not telemetry_enabled():
+        return None
+    return TelemetryHub.from_env(fabric).attach()
+
+
+class TelemetryHub:
+    """Probes, samplers, and trace export for one fabric instance."""
+
+    def __init__(
+        self,
+        fabric: "MultiNocFabric",
+        period: int = DEFAULT_PERIOD,
+        out_dir: str | None = None,
+        max_packets: int = DEFAULT_MAX_PACKETS,
+    ) -> None:
+        self.fabric = fabric
+        self.out_dir = out_dir
+        self.max_packets = max_packets
+        self.sampler = TimeSeriesSampler(fabric, period)
+        self.attached = False
+        num_subnets = fabric.config.num_subnets
+        # (object, attribute, had_instance_attr, saved_value) records
+        # for detach; restored in reverse attach order.
+        self._saved: list[tuple[object, str, bool, object]] = []
+        # --- power transitions ------------------------------------------
+        # Open intervals keyed by id(router); totals per subnet follow
+        # the GatingStats entry-count convention (module docstring).
+        self._sleep_start: dict[int, int] = {}
+        self._wake_start: dict[int, tuple[int, int]] = {}
+        self._pending_request: dict[int, int] = {}
+        self._closed_sleep = [0] * num_subnets
+        self._closed_wakeup = [0] * num_subnets
+        self.sleep_periods = [0] * num_subnets
+        self.wake_requests = [0] * num_subnets
+        #: Closed (subnet, node, state, start, end) power intervals.
+        self.power_intervals: list[tuple[int, int, str, int, int]] = []
+        self.wakeup_latency = BoundedHistogram()
+        # --- congestion status ------------------------------------------
+        self.lcs_raised = [0] * num_subnets
+        self.lcs_cleared = [0] * num_subnets
+        self._prev_lcs = [list(row) for row in fabric.monitor.lcs]
+        regional = fabric.monitor.regional
+        self._prev_rcs = [
+            [
+                regional.rcs_region(subnet, region)
+                for region in range(regional.num_regions)
+            ]
+            for subnet in range(num_subnets)
+        ]
+        #: (cycle, subnet, region, asserted) RCS latch toggles.
+        self.rcs_events: list[tuple[int, int, int, bool]] = []
+        self._rcs_on_since: dict[tuple[int, int], int] = {}
+        self._closed_rcs_cycles = [0] * num_subnets
+        # --- packets ----------------------------------------------------
+        self.packet_records: list[dict[str, int]] = []
+        self.packets_seen = 0
+        self.truncated_packets = 0
+        self.ejected_per_subnet = [0] * num_subnets
+        self.latency = BoundedHistogram()
+        self._flush_count = 0
+        self._orig_step: Callable[[], None] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction from the environment
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, fabric: "MultiNocFabric") -> "TelemetryHub":
+        """Build a hub configured by ``REPRO_TELEMETRY_*`` variables."""
+        period = int(
+            os.environ.get("REPRO_TELEMETRY_PERIOD", "") or DEFAULT_PERIOD
+        )
+        out_dir = os.environ.get("REPRO_TELEMETRY_DIR", "") or DEFAULT_DIR
+        max_packets = int(
+            os.environ.get("REPRO_TELEMETRY_MAX_PACKETS", "")
+            or DEFAULT_MAX_PACKETS
+        )
+        return cls(
+            fabric,
+            period=period,
+            out_dir=out_dir,
+            max_packets=max_packets,
+        )
+
+    # ------------------------------------------------------------------
+    # Attach / detach (per-instance shadowing)
+    # ------------------------------------------------------------------
+    def _shadow(self, obj: Any, name: str, replacement: Any) -> None:
+        had = name in obj.__dict__
+        self._saved.append((obj, name, had, obj.__dict__.get(name)))
+        setattr(obj, name, replacement)
+
+    def attach(self) -> "TelemetryHub":
+        """Install every probe on the fabric; returns ``self``."""
+        if self.attached:
+            return self
+        fabric = self.fabric
+        gating = fabric.gating
+        regional = fabric.monitor.regional
+        self._orig_step = fabric.step
+        self._orig_report = fabric.report
+        self._orig_sleep = gating._sleep
+        self._orig_begin_wakeup = gating._begin_wakeup
+        self._orig_wake_complete = gating._wake_complete
+        self._orig_request_wakeup = gating.request_wakeup
+        self._orig_regional_update = regional.update
+        self._shadow(fabric, "step", self._telemetry_step)
+        self._shadow(fabric, "report", self._telemetry_report)
+        self._shadow(gating, "_sleep", self._tap_sleep)
+        self._shadow(gating, "_begin_wakeup", self._tap_begin_wakeup)
+        self._shadow(gating, "_wake_complete", self._tap_wake_complete)
+        self._shadow(gating, "request_wakeup", self._tap_request_wakeup)
+        self._shadow(regional, "update", self._tap_regional_update)
+        for ni in fabric.nis:
+            self._shadow(
+                ni, "packet_sink", self._make_packet_tap(ni.packet_sink)
+            )
+        self.attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove every probe, restoring the pre-attach attributes."""
+        if not self.attached:
+            return
+        for obj, name, had, value in reversed(self._saved):
+            if had:
+                setattr(obj, name, value)
+            else:
+                delattr(obj, name)
+        self._saved.clear()
+        self.attached = False
+
+    # ------------------------------------------------------------------
+    # Shadowed fabric methods
+    # ------------------------------------------------------------------
+    def _telemetry_step(self) -> None:
+        fabric = self.fabric
+        cycle = fabric.cycle
+        if cycle % self.sampler.period == 0:
+            # Pre-step sample: a consistent post-gating snapshot of the
+            # previous cycle (gating.step runs last inside step()).
+            self.sampler.sample(cycle)
+        orig_step = self._orig_step
+        if orig_step is None:  # pragma: no cover - attach() sets it
+            raise RuntimeError("telemetry hub is not attached")
+        orig_step()
+        # LCS toggle diff: monitor.update ran inside the step, so the
+        # latched rows are the post-step truth for this cycle.
+        prev = self._prev_lcs
+        for subnet, row in enumerate(fabric.monitor.lcs):
+            prev_row = prev[subnet]
+            if row == prev_row:
+                continue
+            raised = cleared = 0
+            for current, old in zip(row, prev_row):
+                if current and not old:
+                    raised += 1
+                elif old and not current:
+                    cleared += 1
+            self.lcs_raised[subnet] += raised
+            self.lcs_cleared[subnet] += cleared
+            prev[subnet] = list(row)
+
+    def _telemetry_report(self):
+        report = self._orig_report()
+        if self.out_dir is not None:
+            self.flush()
+        return report
+
+    # ------------------------------------------------------------------
+    # Gating transition probes
+    # ------------------------------------------------------------------
+    def _tap_sleep(self, router: Router, cycle: int) -> None:
+        self._orig_sleep(router, cycle)
+        self._sleep_start[id(router)] = cycle
+        self.sleep_periods[router.subnet] += 1
+
+    def _tap_begin_wakeup(
+        self, router: Router, cycle: int, stats: "GatingStats"
+    ) -> None:
+        self._orig_begin_wakeup(router, cycle, stats)
+        key = id(router)
+        start = self._sleep_start.pop(key, None)
+        if start is not None:
+            self._closed_sleep[router.subnet] += cycle - start
+            self.power_intervals.append(
+                (router.subnet, router.node, "sleep", start, cycle)
+            )
+        # A wake with no recorded request was RCS-triggered: latency is
+        # measured from the wakeup begin itself.
+        request = self._pending_request.pop(key, cycle)
+        self._wake_start[key] = (cycle, request)
+
+    def _tap_wake_complete(self, router: Router, cycle: int) -> None:
+        self._orig_wake_complete(router, cycle)
+        key = id(router)
+        record = self._wake_start.pop(key, None)
+        if record is not None:
+            begin, request = record
+            self._closed_wakeup[router.subnet] += cycle - begin
+            self.power_intervals.append(
+                (router.subnet, router.node, "wakeup", begin, cycle)
+            )
+            self.wakeup_latency.record(cycle - request)
+
+    def _tap_request_wakeup(self, router: Router) -> None:
+        if router.power_state == PowerState.SLEEP:
+            key = id(router)
+            if key not in self._pending_request:
+                # fabric.cycle is the in-progress step's cycle: step()
+                # publishes cycle+1 only after all sub-steps ran.
+                self._pending_request[key] = self.fabric.cycle
+                self.wake_requests[router.subnet] += 1
+        self._orig_request_wakeup(router)
+
+    # ------------------------------------------------------------------
+    # RCS latch probe
+    # ------------------------------------------------------------------
+    def _tap_regional_update(
+        self, cycle: int, lcs: list[list[bool]]
+    ) -> None:
+        regional = self.fabric.monitor.regional
+        if cycle % regional.update_period:
+            self._orig_regional_update(cycle, lcs)
+            return
+        self._orig_regional_update(cycle, lcs)
+        prev = self._prev_rcs
+        for subnet in range(len(prev)):
+            prev_row = prev[subnet]
+            for region in range(regional.num_regions):
+                bit = regional.rcs_region(subnet, region)
+                if bit == prev_row[region]:
+                    continue
+                prev_row[region] = bit
+                self.rcs_events.append((cycle, subnet, region, bit))
+                key = (subnet, region)
+                if bit:
+                    self._rcs_on_since[key] = cycle
+                else:
+                    on_since = self._rcs_on_since.pop(key, cycle)
+                    self._closed_rcs_cycles[subnet] += cycle - on_since
+
+    # ------------------------------------------------------------------
+    # Packet lifetime probe
+    # ------------------------------------------------------------------
+    def _make_packet_tap(
+        self, orig: "Callable[[Packet, int], None] | None"
+    ) -> "Callable[[Packet, int], None]":
+        def tap(packet: "Packet", cycle: int) -> None:
+            if orig is not None:
+                orig(packet, cycle)
+            self._record_packet(packet)
+
+        return tap
+
+    def _record_packet(self, packet: "Packet") -> None:
+        self.packets_seen += 1
+        self.latency.record(packet.latency)
+        if 0 <= packet.subnet < len(self.ejected_per_subnet):
+            self.ejected_per_subnet[packet.subnet] += 1
+        if len(self.packet_records) >= self.max_packets:
+            self.truncated_packets += 1
+            return
+        self.packet_records.append(
+            {
+                "id": packet.packet_id,
+                "src": packet.src,
+                "dst": packet.dst,
+                "subnet": packet.subnet,
+                "created": packet.created_cycle,
+                "injected": packet.injected_cycle,
+                "received": packet.received_cycle,
+                "hops": packet.hops,
+                "flits": packet.num_flits,
+                "message_class": packet.message_class,
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # Derived totals (non-destructive; callable mid-run)
+    # ------------------------------------------------------------------
+    def sleep_cycles_by_subnet(self) -> list[int]:
+        """Per-subnet sleep cycles derived purely from transitions.
+
+        Reconciles exactly with ``GatingStats.sleep_cycles`` (see the
+        module docstring for the entry-count convention).
+        """
+        final = self.fabric.cycle
+        totals = list(self._closed_sleep)
+        for key, start in self._sleep_start.items():
+            router = self._router_of(key)
+            if router is not None:
+                totals[router.subnet] += max(0, final - 1 - start)
+        return totals
+
+    def wakeup_cycles_by_subnet(self) -> list[int]:
+        """Per-subnet wakeup cycles derived purely from transitions."""
+        final = self.fabric.cycle
+        totals = list(self._closed_wakeup)
+        for key, (begin, _request) in self._wake_start.items():
+            router = self._router_of(key)
+            if router is not None:
+                totals[router.subnet] += max(0, final - 1 - begin)
+        return totals
+
+    def _router_of(self, key: int) -> Router | None:
+        return self.fabric.gating._router_by_id.get(key)
+
+    def rcs_duty_by_subnet(self) -> list[float]:
+        """Fraction of region-cycles each subnet's RCS latch was set."""
+        final = self.fabric.cycle
+        regional = self.fabric.monitor.regional
+        totals = list(self._closed_rcs_cycles)
+        for (subnet, _region), on_since in self._rcs_on_since.items():
+            totals[subnet] += max(0, final - on_since)
+        denominator = regional.num_regions * final
+        if not denominator:
+            return [0.0] * len(totals)
+        return [total / denominator for total in totals]
+
+    def _open_power_intervals(
+        self, final: int
+    ) -> list[tuple[int, int, str, int, int]]:
+        extra: list[tuple[int, int, str, int, int]] = []
+        for key, start in self._sleep_start.items():
+            router = self._router_of(key)
+            if router is not None:
+                extra.append(
+                    (router.subnet, router.node, "sleep", start, final)
+                )
+        for key, (begin, _request) in self._wake_start.items():
+            router = self._router_of(key)
+            if router is not None:
+                extra.append(
+                    (router.subnet, router.node, "wakeup", begin, final)
+                )
+        return extra
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """JSON-safe aggregate summary of everything the hub saw."""
+        fabric = self.fabric
+        injected = [0] * fabric.config.num_subnets
+        for ni in fabric.nis:
+            for subnet, count in enumerate(ni.injected_per_subnet):
+                injected[subnet] += count
+        return {
+            "config": fabric.config.name,
+            "seed": fabric.seed,
+            "cycles": fabric.cycle,
+            "sampling_period": self.sampler.period,
+            "sleep_cycles_by_subnet": self.sleep_cycles_by_subnet(),
+            "wakeup_cycles_by_subnet": self.wakeup_cycles_by_subnet(),
+            "sleep_periods_by_subnet": list(self.sleep_periods),
+            "wake_requests_by_subnet": list(self.wake_requests),
+            "rcs_duty_by_subnet": self.rcs_duty_by_subnet(),
+            "rcs_toggles": len(self.rcs_events),
+            "lcs_raised_by_subnet": list(self.lcs_raised),
+            "lcs_cleared_by_subnet": list(self.lcs_cleared),
+            "injected_per_subnet": injected,
+            "ejected_per_subnet": list(self.ejected_per_subnet),
+            "packets_seen": self.packets_seen,
+            "packet_records": len(self.packet_records),
+            "truncated_packets": self.truncated_packets,
+            "latency": self.latency.to_dict(),
+            "wakeup_latency": self.wakeup_latency.to_dict(),
+        }
+
+    def time_series_doc(self) -> dict:
+        """Full time-series document (sampler columns + summary)."""
+        return {
+            "schema": "repro.telemetry.timeseries/1",
+            "summary": self.summary(),
+            "series": self.sampler.to_dict(),
+        }
+
+    def chrome_trace_doc(self) -> dict:
+        """Perfetto-loadable trace-event document for this run."""
+        fabric = self.fabric
+        final = fabric.cycle
+        intervals = list(self.power_intervals)
+        intervals.extend(self._open_power_intervals(final))
+        return build_chrome_trace(
+            config_name=fabric.config.name,
+            cycles=final,
+            num_subnets=fabric.config.num_subnets,
+            num_nodes=fabric.mesh.num_nodes,
+            power_intervals=intervals,
+            packets=self.packet_records,
+            rcs_events=self.rcs_events,
+            truncated_packets=self.truncated_packets,
+        )
+
+    def ascii_summary(self) -> str:
+        """Human-readable terminal summary (sparklines + heatmaps)."""
+        fabric = self.fabric
+        final = fabric.cycle
+        lines = [
+            f"telemetry: {fabric.config.name} seed={fabric.seed} "
+            f"cycles={final}",
+            self.sampler.ascii_render(),
+        ]
+        sleep = self.sleep_cycles_by_subnet()
+        routers = fabric.mesh.num_nodes
+        if final and any(sleep):
+            fractions = [
+                total / (routers * final) for total in sleep
+            ]
+            lines.append(
+                bar_chart(
+                    [f"subnet{idx}" for idx in range(len(sleep))],
+                    fractions,
+                    title="sleep fraction by subnet:",
+                )
+            )
+        if self.latency.count:
+            p50, p95, p99 = self.latency.percentiles(0.50, 0.95, 0.99)
+            lines.append(
+                f"packet latency: n={self.latency.count} "
+                f"mean={self.latency.mean:.1f} "
+                f"p50={p50:.0f} p95={p95:.0f} p99={p99:.0f} "
+                f"max={self.latency.max_value}"
+            )
+        if self.wakeup_latency.count:
+            p50, p95, p99 = self.wakeup_latency.percentiles(
+                0.50, 0.95, 0.99
+            )
+            lines.append(
+                f"wakeup latency: n={self.wakeup_latency.count} "
+                f"mean={self.wakeup_latency.mean:.1f} "
+                f"p50={p50:.0f} p95={p95:.0f} p99={p99:.0f}"
+            )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def flush(self) -> dict[str, str]:
+        """Write the three telemetry artifacts; return their paths.
+
+        Files are named ``{config}-s{seed}-p{pid}-r{n}`` so parallel
+        sweep workers and repeated flushes never collide.
+        """
+        out_dir = self.out_dir if self.out_dir is not None else DEFAULT_DIR
+        os.makedirs(out_dir, exist_ok=True)
+        fabric = self.fabric
+        stem = (
+            f"{fabric.config.name}-s{fabric.seed}"
+            f"-p{os.getpid()}-r{self._flush_count}"
+        )
+        self._flush_count += 1
+        paths = {
+            "timeseries": os.path.join(
+                out_dir, f"{stem}.timeseries.json"
+            ),
+            "trace": os.path.join(out_dir, f"{stem}.trace.json"),
+            "summary": os.path.join(out_dir, f"{stem}.summary.txt"),
+        }
+        with open(paths["timeseries"], "w", encoding="utf-8") as handle:
+            json.dump(
+                self.time_series_doc(), handle, separators=(",", ":")
+            )
+        with open(paths["trace"], "w", encoding="utf-8") as handle:
+            json.dump(
+                self.chrome_trace_doc(), handle, separators=(",", ":")
+            )
+        with open(paths["summary"], "w", encoding="utf-8") as handle:
+            handle.write(self.ascii_summary() + "\n")
+        return paths

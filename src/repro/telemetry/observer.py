@@ -1,0 +1,75 @@
+"""Sweep-runner integration: report telemetry artifacts per point.
+
+Telemetry hubs attach inside sweep worker processes (the fabric
+constructor reads ``REPRO_TELEMETRY``), so the parent CLI process
+never sees the hub objects themselves — only the files they flush.
+:class:`TelemetryObserver` plugs into the sweep observer chain and
+reports every artifact that appears in the telemetry directory while
+a sweep runs, giving ``--telemetry`` runs a per-point line that says
+where each trace landed.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.experiments.runner import SweepObserver, SweepStats
+from repro.telemetry.hub import DEFAULT_DIR
+
+__all__ = ["TelemetryObserver"]
+
+#: File suffixes the hub's ``flush`` produces.
+_ARTIFACT_SUFFIXES = (".timeseries.json", ".trace.json", ".summary.txt")
+
+
+class TelemetryObserver(SweepObserver):
+    """Announces new telemetry artifacts as sweep points complete."""
+
+    def __init__(
+        self, directory: str | None = None, stream=None
+    ) -> None:
+        import sys
+
+        self.directory = (
+            directory
+            or os.environ.get("REPRO_TELEMETRY_DIR", "")
+            or DEFAULT_DIR
+        )
+        self.stream = stream if stream is not None else sys.stderr
+        self._known: set[str] = set()
+        #: Every artifact path reported so far, in report order.
+        self.reported: list[str] = []
+
+    def _scan(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            name
+            for name in names
+            if name.endswith(_ARTIFACT_SUFFIXES)
+        )
+
+    def _report_fresh(self) -> None:
+        for name in self._scan():
+            if name in self._known:
+                continue
+            self._known.add(name)
+            path = os.path.join(self.directory, name)
+            self.reported.append(path)
+            print(f"  telemetry: {path}", file=self.stream)
+
+    # -- SweepObserver hooks ------------------------------------------
+    def sweep_started(self, total: int) -> None:
+        # Pre-existing artifacts belong to earlier runs; only report
+        # what this sweep produces.
+        self._known.update(self._scan())
+
+    def point_finished(self, index, spec, rows, elapsed, cached) -> None:
+        self._report_fresh()
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        # Parallel workers may flush after their point_finished record
+        # was consumed; catch any stragglers.
+        self._report_fresh()

@@ -1,0 +1,180 @@
+"""Periodic time-series sampling of fabric state.
+
+The :class:`TimeSeriesSampler` is polled by the telemetry hub once per
+sampling period (``REPRO_TELEMETRY_PERIOD`` cycles, before the step
+executes, so every sample observes a consistent post-gating snapshot
+of the previous cycle).  Each tick records:
+
+* per subnet: router power-state occupancy (active/sleep/wakeup
+  counts), the max buffer occupancy over all routers (the BFM
+  congestion signal), the latched LCS node count, and the set RCS
+  region count;
+* fabric-wide: injection-queue flits waiting at the NIs and in-flight
+  flits.
+
+It also accumulates the peak per-router input-buffer occupancy over
+the whole run, rendered as a per-subnet mesh heatmap by
+:meth:`ascii_render`.
+
+Sampling cost is O(routers) per tick, paid only every period cycles
+and only on fabrics with telemetry attached — never on the default
+fast path.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.noc.router import PowerState
+from repro.util.ascii_plot import heatmap, sparkline
+
+if TYPE_CHECKING:
+    from repro.noc.multinoc import MultiNocFabric
+
+__all__ = ["TimeSeriesSampler"]
+
+
+class _SubnetSeries:
+    """Per-subnet column store, one list entry per sample tick."""
+
+    __slots__ = (
+        "active", "sleep", "wakeup",
+        "max_buffer_occupancy", "lcs_nodes", "rcs_regions",
+    )
+
+    def __init__(self) -> None:
+        self.active: list[int] = []
+        self.sleep: list[int] = []
+        self.wakeup: list[int] = []
+        self.max_buffer_occupancy: list[int] = []
+        self.lcs_nodes: list[int] = []
+        self.rcs_regions: list[int] = []
+
+    def to_dict(self) -> dict:
+        return {
+            "active": self.active,
+            "sleep": self.sleep,
+            "wakeup": self.wakeup,
+            "max_buffer_occupancy": self.max_buffer_occupancy,
+            "lcs_nodes": self.lcs_nodes,
+            "rcs_regions": self.rcs_regions,
+        }
+
+
+class TimeSeriesSampler:
+    """Columnar time-series collector over one fabric."""
+
+    def __init__(self, fabric: "MultiNocFabric", period: int) -> None:
+        if period < 1:
+            raise ValueError("sampling period must be >= 1")
+        self.fabric = fabric
+        self.period = period
+        self.ticks: list[int] = []
+        self.subnets = [
+            _SubnetSeries() for _ in range(fabric.config.num_subnets)
+        ]
+        self.injection_queue_flits: list[int] = []
+        self.in_flight_flits: list[int] = []
+        # peak_occupancy[subnet][node]: max input-buffer flits observed
+        # at any sample tick (heatmap source).
+        self.peak_occupancy = [
+            [0] * fabric.mesh.num_nodes
+            for _ in range(fabric.config.num_subnets)
+        ]
+
+    # ------------------------------------------------------------------
+    def sample(self, cycle: int) -> None:
+        """Record one tick of every series at ``cycle``."""
+        fabric = self.fabric
+        self.ticks.append(cycle)
+        regional = fabric.monitor.regional
+        use_regional = fabric.monitor.use_regional
+        for subnet_idx, network in enumerate(fabric.subnets):
+            series = self.subnets[subnet_idx]
+            peaks = self.peak_occupancy[subnet_idx]
+            active = sleep = wakeup = 0
+            max_occupancy = 0
+            for node, router in enumerate(network.routers):
+                state = router.power_state
+                if state == PowerState.ACTIVE:
+                    active += 1
+                elif state == PowerState.SLEEP:
+                    sleep += 1
+                else:
+                    wakeup += 1
+                occupancy = router.max_port_occupancy()
+                if occupancy > max_occupancy:
+                    max_occupancy = occupancy
+                if occupancy > peaks[node]:
+                    peaks[node] = occupancy
+            series.active.append(active)
+            series.sleep.append(sleep)
+            series.wakeup.append(wakeup)
+            series.max_buffer_occupancy.append(max_occupancy)
+            series.lcs_nodes.append(fabric.monitor.lcs_count(subnet_idx))
+            series.rcs_regions.append(
+                sum(
+                    regional.rcs_region(subnet_idx, region)
+                    for region in range(regional.num_regions)
+                )
+                if use_regional
+                else 0
+            )
+        self.injection_queue_flits.append(
+            sum(ni.queue_occupancy_flits() for ni in fabric.nis)
+        )
+        self.in_flight_flits.append(fabric.in_flight_flits)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """JSON-safe column store of every series."""
+        return {
+            "period": self.period,
+            "cycles": self.ticks,
+            "subnets": [series.to_dict() for series in self.subnets],
+            "injection_queue_flits": self.injection_queue_flits,
+            "in_flight_flits": self.in_flight_flits,
+            "peak_occupancy": self.peak_occupancy,
+        }
+
+    def _mesh_grid(self, values: list[int]) -> list[list[int]]:
+        mesh = self.fabric.mesh
+        return [
+            values[row * mesh.cols : (row + 1) * mesh.cols]
+            for row in range(mesh.rows)
+        ]
+
+    def ascii_render(self) -> str:
+        """Terminal rendering: sparklines per subnet + peak heatmaps."""
+        lines: list[str] = []
+        if not self.ticks:
+            return "(no samples)"
+        lines.append(
+            f"samples: {len(self.ticks)} (period {self.period} cycles, "
+            f"cycles {self.ticks[0]}..{self.ticks[-1]})"
+        )
+        for subnet_idx, series in enumerate(self.subnets):
+            lines.append(f"subnet {subnet_idx}:")
+            lines.append(f"  sleep routers   {sparkline(series.sleep)}")
+            lines.append(
+                f"  max buffer occ  "
+                f"{sparkline(series.max_buffer_occupancy)}"
+            )
+            lines.append(f"  LCS nodes       {sparkline(series.lcs_nodes)}")
+            lines.append(
+                f"  RCS regions     {sparkline(series.rcs_regions)}"
+            )
+            lines.append(
+                heatmap(
+                    self._mesh_grid(self.peak_occupancy[subnet_idx]),
+                    title=f"  peak router occupancy (flits), "
+                    f"subnet {subnet_idx}:",
+                )
+            )
+        lines.append(
+            f"injection queue   {sparkline(self.injection_queue_flits)}"
+        )
+        lines.append(
+            f"in-flight flits   {sparkline(self.in_flight_flits)}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,238 @@
+"""Chrome trace-event export for fabric telemetry.
+
+Builds a `Trace Event Format`_ JSON object (the ``traceEvents`` array
+form) that loads directly into Perfetto / ``chrome://tracing``:
+
+* router power states as complete (``ph: "X"``) slices on a
+  process-per-subnet, thread-per-node track layout,
+* packet lifetimes as async (``ph: "b"`` / ``ph: "e"``) slices keyed
+  by packet id,
+* RCS latch toggles as instant (``ph: "i"``) events,
+* process/thread naming metadata (``ph: "M"``).
+
+Timestamps are **simulation cycles**, not microseconds; the viewer's
+time axis therefore reads cycles (recorded in ``otherData`` so the
+unit is self-describing).
+
+:func:`validate_trace` is the schema check used by the test suite, the
+CI smoke job, and ``python -m repro.telemetry validate``.
+
+.. _Trace Event Format:
+   https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping
+
+__all__ = ["build_chrome_trace", "validate_trace"]
+
+#: Phase codes emitted by :func:`build_chrome_trace`.
+_EMITTED_PHASES = ("X", "b", "e", "i", "M")
+
+#: Phase codes :func:`validate_trace` accepts (superset: counter and
+#: duration events are legal trace-event phases other tools may add).
+_KNOWN_PHASES = frozenset("XbeniMBEsftPC")
+
+
+def _metadata(pid: int, name: str, tid: int | None = None) -> dict:
+    event: dict[str, Any] = {
+        "ph": "M",
+        "pid": pid,
+        "name": "process_name" if tid is None else "thread_name",
+        "args": {"name": name},
+    }
+    if tid is not None:
+        event["tid"] = tid
+    return event
+
+
+def build_chrome_trace(
+    config_name: str,
+    cycles: int,
+    num_subnets: int,
+    num_nodes: int,
+    power_intervals: Iterable[tuple[int, int, str, int, int]],
+    packets: Iterable[Mapping[str, int]],
+    rcs_events: Iterable[tuple[int, int, int, bool]],
+    truncated_packets: int = 0,
+) -> dict:
+    """Assemble a Perfetto-loadable trace-event document.
+
+    Parameters
+    ----------
+    config_name, cycles:
+        Labels for ``otherData`` (configuration name, simulated
+        cycles).
+    num_subnets, num_nodes:
+        Track layout: one process per subnet, one thread per node.
+    power_intervals:
+        ``(subnet, node, state_name, start_cycle, end_cycle)`` tuples
+        with ``end_cycle >= start_cycle``; rendered as complete
+        slices.  Zero-length intervals are dropped.
+    packets:
+        Mappings with keys ``id, src, dst, subnet, created, received``
+        and optionally ``injected, hops, flits, message_class``;
+        rendered as async begin/end pairs in category ``"packet"``.
+    rcs_events:
+        ``(cycle, subnet, region, asserted)`` latch-toggle tuples;
+        rendered as process-scoped instant events.
+    truncated_packets:
+        Count of packet records dropped by the hub's memory cap
+        (recorded in ``otherData`` so a partial trace is detectable).
+    """
+    events: list[dict] = []
+    for subnet in range(num_subnets):
+        events.append(_metadata(subnet, f"subnet{subnet}"))
+        for node in range(num_nodes):
+            events.append(_metadata(subnet, f"router{node}", tid=node))
+    for subnet, node, state, start, end in power_intervals:
+        if end <= start:
+            continue
+        events.append(
+            {
+                "ph": "X",
+                "cat": "power",
+                "name": state,
+                "pid": subnet,
+                "tid": node,
+                "ts": start,
+                "dur": end - start,
+            }
+        )
+    for record in packets:
+        subnet = record.get("subnet", -1)
+        pid = subnet if subnet >= 0 else 0
+        begin: dict[str, Any] = {
+            "ph": "b",
+            "cat": "packet",
+            "id": record["id"],
+            "name": f"pkt {record['src']}->{record['dst']}",
+            "pid": pid,
+            "tid": record["src"],
+            "ts": record["created"],
+            "args": {
+                key: record[key]
+                for key in (
+                    "src", "dst", "subnet", "injected",
+                    "hops", "flits", "message_class",
+                )
+                if key in record
+            },
+        }
+        end: dict[str, Any] = {
+            "ph": "e",
+            "cat": "packet",
+            "id": record["id"],
+            "name": begin["name"],
+            "pid": pid,
+            "tid": record["src"],
+            "ts": record["received"],
+        }
+        events.append(begin)
+        events.append(end)
+    for cycle, subnet, region, asserted in rcs_events:
+        events.append(
+            {
+                "ph": "i",
+                "cat": "rcs",
+                "name": (
+                    f"rcs{'+' if asserted else '-'} region{region}"
+                ),
+                "pid": subnet,
+                "ts": cycle,
+                "s": "p",
+                "args": {"region": region, "asserted": int(asserted)},
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "config": config_name,
+            "cycles": cycles,
+            "time_unit": "cycles",
+            "truncated_packets": truncated_packets,
+        },
+    }
+
+
+def _check_event(index: int, event: object, errors: list[str]) -> None:
+    where = f"traceEvents[{index}]"
+    if not isinstance(event, dict):
+        errors.append(f"{where}: not an object")
+        return
+    phase = event.get("ph")
+    if not isinstance(phase, str) or phase not in _KNOWN_PHASES:
+        errors.append(f"{where}: bad phase {phase!r}")
+        return
+    if phase == "M":
+        if not isinstance(event.get("name"), str):
+            errors.append(f"{where}: metadata event without name")
+        return
+    if not isinstance(event.get("name"), str):
+        errors.append(f"{where}: missing name")
+    ts = event.get("ts")
+    if not isinstance(ts, (int, float)) or isinstance(ts, bool) or ts < 0:
+        errors.append(f"{where}: bad ts {ts!r}")
+    if "pid" in event and not isinstance(event["pid"], int):
+        errors.append(f"{where}: bad pid {event['pid']!r}")
+    if phase == "X":
+        dur = event.get("dur")
+        if (
+            not isinstance(dur, (int, float))
+            or isinstance(dur, bool)
+            or dur < 0
+        ):
+            errors.append(f"{where}: complete event with bad dur {dur!r}")
+    if phase in ("b", "e", "n"):
+        if "id" not in event:
+            errors.append(f"{where}: async event without id")
+        if not isinstance(event.get("cat"), str):
+            errors.append(f"{where}: async event without cat")
+    if phase == "i" and event.get("s") not in (None, "g", "p", "t"):
+        errors.append(f"{where}: bad instant scope {event.get('s')!r}")
+
+
+def validate_trace(doc: object) -> list[str]:
+    """Check ``doc`` against the trace-event schema; return problems.
+
+    An empty list means the document is a well-formed trace: the
+    required top-level shape, every event structurally valid, and
+    every async begin matched by exactly one same-``(cat, id)`` end at
+    a later-or-equal timestamp.
+    """
+    errors: list[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["missing or non-list traceEvents"]
+    begins: dict[tuple[str, object], list[float]] = {}
+    ends: dict[tuple[str, object], list[float]] = {}
+    for index, event in enumerate(events):
+        _check_event(index, event, errors)
+        if not isinstance(event, dict):
+            continue
+        phase = event.get("ph")
+        if phase in ("b", "e") and "id" in event:
+            key = (str(event.get("cat")), event["id"])
+            ts = event.get("ts")
+            if isinstance(ts, (int, float)):
+                side = begins if phase == "b" else ends
+                side.setdefault(key, []).append(float(ts))
+    for key, starts in begins.items():
+        stops = ends.get(key, [])
+        if len(stops) != len(starts):
+            errors.append(
+                f"async {key[0]}/{key[1]}: {len(starts)} begin(s) "
+                f"vs {len(stops)} end(s)"
+            )
+        elif len(starts) == 1 and stops and stops[0] < starts[0]:
+            errors.append(
+                f"async {key[0]}/{key[1]}: end before begin"
+            )
+    for key in ends:
+        if key not in begins:
+            errors.append(f"async {key[0]}/{key[1]}: end without begin")
+    return errors

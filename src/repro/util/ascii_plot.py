@@ -9,9 +9,11 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["sparkline", "bar_chart", "line_chart"]
+__all__ = ["sparkline", "bar_chart", "line_chart", "heatmap"]
 
 _SPARKS = "▁▂▃▄▅▆▇█"
+
+_SHADES = " .:-=+*#%@"
 
 
 def sparkline(values: Sequence[float]) -> str:
@@ -27,6 +29,32 @@ def sparkline(values: Sequence[float]) -> str:
     return "".join(
         _SPARKS[round((v - low) / span * levels)] for v in values
     )
+
+
+def heatmap(
+    grid: Sequence[Sequence[float]],
+    title: str | None = None,
+    cell_width: int = 2,
+) -> str:
+    """Render a 2-D grid of values as an intensity heatmap.
+
+    Each cell maps linearly from ``[0, max]`` onto a ten-step shade
+    ramp; rows render top to bottom in the given order.  Used by the
+    telemetry samplers to show per-router occupancy over the mesh.
+    """
+    if not grid or not any(len(row) for row in grid):
+        return title or ""
+    peak = max((v for row in grid for v in row), default=0.0)
+    levels = len(_SHADES) - 1
+    lines = [] if title is None else [title]
+    for row in grid:
+        cells = []
+        for value in row:
+            level = round(value / peak * levels) if peak > 0 else 0
+            cells.append(_SHADES[level] * cell_width)
+        lines.append("|" + "".join(cells) + "|")
+    lines.append(f"scale: ' '=0 .. '@'={peak:.3g}")
+    return "\n".join(lines)
 
 
 def bar_chart(

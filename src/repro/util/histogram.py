@@ -1,0 +1,154 @@
+"""Bounded integer histograms for latency-style distributions.
+
+A cycle-level simulator produces millions of latency samples; storing
+them all to compute percentiles is unbounded memory for an end-of-run
+aggregate.  :class:`BoundedHistogram` keeps exact unit-width bins for
+small values (where packet latencies cluster and a one-cycle error
+would be visible) and power-of-two bins for the tail, so memory is a
+small constant regardless of sample count while p50/p95/p99 stay exact
+below ``linear_limit`` and within a factor-of-two bucket above it.
+
+Used by :class:`repro.noc.stats.NetworkStats` (measurement-window
+packet latency) and by the telemetry samplers
+(:mod:`repro.telemetry.samplers`) for latency and wakeup-latency
+distributions.
+"""
+
+from __future__ import annotations
+
+__all__ = ["BoundedHistogram"]
+
+
+class BoundedHistogram:
+    """Fixed-memory histogram over non-negative integer samples.
+
+    Values below ``linear_limit`` land in exact unit bins; larger
+    values land in power-of-two bins ``[2^k, 2^{k+1})`` up to
+    ``2^63``-ish, so any plausible cycle count is representable.
+    Percentiles report the exact value in the linear range and the
+    bucket midpoint in the geometric range.
+    """
+
+    __slots__ = ("linear_limit", "count", "total", "max_value",
+                 "_linear", "_geometric")
+
+    #: Number of geometric (power-of-two) tail buckets.
+    GEOMETRIC_BINS = 56
+
+    def __init__(self, linear_limit: int = 128) -> None:
+        if linear_limit < 1:
+            raise ValueError("linear_limit must be >= 1")
+        self.linear_limit = linear_limit
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+        self._linear = [0] * linear_limit
+        self._geometric = [0] * self.GEOMETRIC_BINS
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def record(self, value: int, weight: int = 1) -> None:
+        """Add ``value`` (negative values clamp to 0) ``weight`` times."""
+        if value < 0:
+            value = 0
+        self.count += weight
+        self.total += value * weight
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.linear_limit:
+            self._linear[value] += weight
+            return
+        index = value.bit_length() - self.linear_limit.bit_length()
+        if index >= self.GEOMETRIC_BINS:
+            index = self.GEOMETRIC_BINS - 1
+        self._geometric[index] += weight
+
+    def merge(self, other: "BoundedHistogram") -> None:
+        """Fold ``other`` into this histogram (same ``linear_limit``)."""
+        if other.linear_limit != self.linear_limit:
+            raise ValueError("cannot merge histograms with different "
+                             "linear_limit values")
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+        for i, n in enumerate(other._linear):
+            self._linear[i] += n
+        for i, n in enumerate(other._geometric):
+            self._geometric[i] += n
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all recorded samples (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def _geometric_bounds(self, index: int) -> tuple[int, int]:
+        """Inclusive [lo, hi] value range of geometric bucket ``index``."""
+        bits = self.linear_limit.bit_length() + index
+        lo = 1 << (bits - 1)
+        hi = (1 << bits) - 1
+        if index == 0:
+            lo = self.linear_limit
+        return lo, hi
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in (0, 1]; 0.0 on an empty histogram.
+
+        Exact in the linear range; the bucket midpoint in the
+        geometric tail.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError("quantile must be in (0, 1]")
+        if not self.count:
+            return 0.0
+        # Smallest rank whose cumulative count covers q of the samples.
+        target = q * self.count
+        cumulative = 0
+        for value, n in enumerate(self._linear):
+            if not n:
+                continue
+            cumulative += n
+            if cumulative >= target:
+                return float(value)
+        for index, n in enumerate(self._geometric):
+            if not n:
+                continue
+            cumulative += n
+            if cumulative >= target:
+                lo, hi = self._geometric_bounds(index)
+                return (lo + min(hi, self.max_value)) / 2.0
+        return float(self.max_value)
+
+    def percentiles(self, *qs: float) -> list[float]:
+        """Convenience: one :meth:`percentile` call per quantile."""
+        return [self.percentile(q) for q in qs]
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot: summary stats plus non-empty bins.
+
+        ``bins`` is a list of ``[lo, hi, count]`` (inclusive bounds)
+        for every non-empty bucket, in ascending value order.
+        """
+        bins: list[list[int]] = []
+        for value, n in enumerate(self._linear):
+            if n:
+                bins.append([value, value, n])
+        for index, n in enumerate(self._geometric):
+            if n:
+                lo, hi = self._geometric_bounds(index)
+                bins.append([lo, hi, n])
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "max": self.max_value,
+            "linear_limit": self.linear_limit,
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+            "bins": bins,
+        }

@@ -57,3 +57,28 @@ class TestLineChart:
 
     def test_empty_inputs(self):
         assert line_chart([], {}, title="t") == "t"
+
+
+class TestHeatmap:
+    def test_shades_scale_with_values(self):
+        from repro.util.ascii_plot import heatmap
+
+        out = heatmap([[0.0, 10.0], [5.0, 0.0]])
+        lines = out.splitlines()
+        assert lines[0] == "|  @@|"
+        assert lines[1].startswith("|")
+        assert "scale: ' '=0 .. '@'=10" in lines[-1]
+
+    def test_title_and_empty(self):
+        from repro.util.ascii_plot import heatmap
+
+        assert heatmap([], title="t") == "t"
+        assert heatmap([[]]) == ""
+        out = heatmap([[1.0]], title="grid")
+        assert out.splitlines()[0] == "grid"
+
+    def test_all_zero_grid(self):
+        from repro.util.ascii_plot import heatmap
+
+        out = heatmap([[0.0, 0.0]])
+        assert out.splitlines()[0] == "|    |"

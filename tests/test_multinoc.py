@@ -140,3 +140,58 @@ class TestDeterminism:
             return fabric.subnet_injection_share()
 
         assert shares("catnap")[0] > shares("round_robin")[0]
+
+
+class TestHopCounts:
+    def test_hops_equal_manhattan_distance(self):
+        """Under X-Y routing every packet's hop count is exact."""
+        fabric = small_fabric()
+        received = []
+        fabric.packet_sink = lambda packet, cycle: received.append(packet)
+        mesh = fabric.mesh
+        for src in range(mesh.num_nodes):
+            for dst in range(mesh.num_nodes):
+                if src != dst:
+                    fabric.offer(Packet(src=src, dst=dst, size_bits=512))
+        assert fabric.drain()
+        assert received
+        for packet in received:
+            sx, sy = mesh.coordinates(packet.src)
+            dx, dy = mesh.coordinates(packet.dst)
+            assert packet.hops == abs(sx - dx) + abs(sy - dy)
+
+    def test_report_carries_avg_hops_per_subnet(self):
+        fabric = small_fabric()
+        for i in range(40):
+            fabric.offer(
+                Packet(src=i % 16, dst=(i + 5) % 16, size_bits=512)
+            )
+        assert fabric.drain()
+        report = fabric.report()
+        assert len(report.avg_hops_per_subnet) == 2
+        # Traffic flowed, so at least one subnet has a positive mean.
+        assert any(h > 0 for h in report.avg_hops_per_subnet)
+        assert report.avg_hops_per_subnet == (
+            fabric.stats.average_hops_per_subnet()
+        )
+        assert fabric.stats.average_hops() > 0
+
+    def test_report_carries_latency_percentiles(self):
+        fabric = small_fabric()
+        from repro.traffic.generators import SyntheticTrafficSource
+        from repro.traffic.patterns import make_pattern
+
+        source = SyntheticTrafficSource(
+            fabric, make_pattern("uniform", fabric.mesh), 0.1, 128, seed=5
+        )
+        fabric.stats.begin_measurement(0)
+        for _ in range(600):
+            source.step(fabric.cycle)
+            fabric.step()
+        report = fabric.report()
+        assert report.latency_p50 > 0
+        assert (
+            report.latency_p50
+            <= report.latency_p95
+            <= report.latency_p99
+        )

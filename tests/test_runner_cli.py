@@ -55,3 +55,77 @@ class TestRegistry:
 
     def test_extension_registered(self):
         assert "ext_class_partition" in EXPERIMENTS
+
+
+class TestTelemetryFlags:
+    def test_trace_out_implies_telemetry_and_writes_artifacts(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import os
+
+        # main() exports these for sweep workers; the test must leave
+        # no trace in the process environment afterwards.  delenv on
+        # an *absent* var registers nothing to undo, so a bare delenv
+        # would let main()'s os.environ writes outlive the test —
+        # setenv first registers restore-to-absent, then delenv clears
+        # the placeholder for the call.
+        for name in ("REPRO_TELEMETRY", "REPRO_TELEMETRY_DIR"):
+            monkeypatch.setenv(name, "placeholder")
+            monkeypatch.delenv(name)
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        out_dir = tmp_path / "tel"
+        assert (
+            main(
+                [
+                    "fig06",
+                    "--scale",
+                    "0.02",
+                    "--trace-out",
+                    str(out_dir),
+                ]
+            )
+            == 0
+        )
+        assert os.environ["REPRO_TELEMETRY"] == "1"
+        names = sorted(p.name for p in out_dir.iterdir())
+        assert any(n.endswith(".trace.json") for n in names)
+        assert any(n.endswith(".timeseries.json") for n in names)
+        err = capsys.readouterr().err
+        assert "telemetry:" in err
+
+        from repro.telemetry.__main__ import main as telemetry_main
+
+        assert telemetry_main(["validate", str(out_dir)]) == 0
+
+    def test_percentiles_flag_keeps_tables_without_the_columns(
+        self, capsys
+    ):
+        assert main(["table02", "--percentiles"]) == 0
+        out = capsys.readouterr().out
+        assert "latency_p50" not in out
+
+    def test_percentiles_render_appends_columns(self):
+        from dataclasses import replace
+
+        from repro.experiments.common import ExperimentResult
+
+        rows = [
+            {
+                "load": 0.1,
+                "latency": 20.0,
+                "latency_p50": 19.0,
+                "latency_p95": 30.0,
+                "latency_p99": 40.0,
+            }
+        ]
+        result = ExperimentResult(
+            "figX", "t", rows, columns=["load", "latency"]
+        )
+        plain = render_experiment(result)
+        with_pct = render_experiment(result, percentiles=True)
+        assert "latency_p95" not in plain
+        assert "latency_p95" in with_pct
+        # The default rendering is untouched (paper tables stay
+        # byte-identical) and the result object is not mutated.
+        assert render_experiment(result) == plain
+        assert result.columns == ["load", "latency"]

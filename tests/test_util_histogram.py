@@ -1,0 +1,125 @@
+"""Tests for the bounded latency histogram (repro.util.histogram)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.histogram import BoundedHistogram
+
+
+class TestRecording:
+    def test_mean_and_count(self):
+        hist = BoundedHistogram()
+        for value in (1, 2, 3, 4):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.total == 10
+        assert hist.mean == 2.5
+        assert hist.max_value == 4
+
+    def test_weights(self):
+        hist = BoundedHistogram()
+        hist.record(7, weight=3)
+        assert hist.count == 3
+        assert hist.total == 21
+        assert hist.percentile(1.0) == 7.0
+
+    def test_negative_values_clamp_to_zero(self):
+        hist = BoundedHistogram()
+        hist.record(-5)
+        assert hist.count == 1
+        assert hist.total == 0
+        assert hist.percentile(0.5) == 0.0
+
+    def test_empty_histogram(self):
+        hist = BoundedHistogram()
+        assert hist.mean == 0.0
+        assert hist.percentile(0.99) == 0.0
+        assert hist.to_dict()["bins"] == []
+
+    def test_invalid_construction_and_quantiles(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram(linear_limit=0)
+        hist = BoundedHistogram()
+        with pytest.raises(ValueError):
+            hist.percentile(0.0)
+        with pytest.raises(ValueError):
+            hist.percentile(1.5)
+
+
+class TestPercentiles:
+    def test_exact_in_linear_range(self):
+        hist = BoundedHistogram(linear_limit=128)
+        for value in range(100):
+            hist.record(value)
+        assert hist.percentile(0.50) == 49.0
+        assert hist.percentile(0.95) == 94.0
+        assert hist.percentile(0.99) == 98.0
+        assert hist.percentile(1.0) == 99.0
+
+    def test_geometric_tail_reports_bucket_midpoint(self):
+        hist = BoundedHistogram(linear_limit=128)
+        # 1000 lands in [512, 1023] -> midpoint clamped by max seen.
+        hist.record(1000)
+        assert hist.percentile(0.5) == (512 + 1000) / 2.0
+        hist.record(600)
+        # Same bucket: midpoint uses the bucket bounds and max_value.
+        assert hist.percentile(0.1) == (512 + 1000) / 2.0
+
+    def test_huge_values_fit_last_bucket(self):
+        hist = BoundedHistogram()
+        hist.record(1 << 70)
+        assert hist.count == 1
+        assert hist.percentile(1.0) > 0
+
+    def test_percentiles_convenience(self):
+        hist = BoundedHistogram()
+        for value in range(10):
+            hist.record(value)
+        assert hist.percentiles(0.5, 1.0) == [
+            hist.percentile(0.5),
+            hist.percentile(1.0),
+        ]
+
+
+class TestMergeAndSerialize:
+    def test_merge_sums_counts(self):
+        left = BoundedHistogram()
+        right = BoundedHistogram()
+        for value in range(50):
+            left.record(value)
+        for value in range(200, 260):
+            right.record(value)
+        left.merge(right)
+        assert left.count == 110
+        assert left.max_value == 259
+        assert left.percentile(1.0) >= 128
+
+    def test_merge_rejects_different_limits(self):
+        with pytest.raises(ValueError):
+            BoundedHistogram(64).merge(BoundedHistogram(128))
+
+    def test_to_dict_bins_cover_all_samples(self):
+        hist = BoundedHistogram(linear_limit=16)
+        for value in (3, 3, 20, 500):
+            hist.record(value)
+        doc = hist.to_dict()
+        assert doc["count"] == 4
+        assert sum(n for _, _, n in doc["bins"]) == 4
+        for lo, hi, _ in doc["bins"]:
+            assert lo <= hi
+        # Bins are disjoint and ascending.
+        bounds = [(lo, hi) for lo, hi, _ in doc["bins"]]
+        assert bounds == sorted(bounds)
+        for (_, prev_hi), (lo, _) in zip(bounds, bounds[1:]):
+            assert lo > prev_hi
+        assert {"p50", "p95", "p99", "mean", "max"} <= set(doc)
+
+    def test_memory_is_bounded(self):
+        hist = BoundedHistogram(linear_limit=128)
+        assert len(hist._linear) == 128
+        assert len(hist._geometric) == BoundedHistogram.GEOMETRIC_BINS
+        for value in range(0, 1_000_000, 997):
+            hist.record(value)
+        assert len(hist._linear) == 128
+        assert len(hist._geometric) == BoundedHistogram.GEOMETRIC_BINS
