@@ -15,6 +15,10 @@ evaluated in the paper:
 The controller also keeps the accounting the paper reports: compensated
 sleep cycles (CSC = per-period sleep length minus T-breakeven, from Hu
 et al.), state-residency cycles, and transition counts.
+
+:meth:`PowerGatingController.step` is the ``gating`` phase of the
+simulator's self-profile (``REPRO_PERF=1``, see ``docs/perf.md``) —
+use it to see what this controller costs per simulated cycle.
 """
 
 from __future__ import annotations

@@ -8,6 +8,10 @@ questions Catnap's policies ask every cycle:
 * :meth:`gating_status` — the lower-order-subnet status the power-gating
   policy conditions on (RCS when the OR network is enabled, otherwise
   the node's own LCS — the paper's *BFM-local* variant).
+
+Under ``REPRO_PERF=1`` (see ``docs/perf.md``) :meth:`update` is the
+``monitor_lcs`` phase of the simulator's self-profile, with the
+regional OR-network update timed separately as ``regional_update``.
 """
 
 from __future__ import annotations

@@ -9,6 +9,7 @@ Usage::
     catnap-experiments fig10 --no-cache              # force re-simulation
     catnap-experiments fig06 --check                 # invariant-checked
     catnap-experiments fig06 --telemetry             # trace + time series
+    catnap-experiments fig06 --perf                  # phase profile
     catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
@@ -141,26 +142,33 @@ def run_experiment(name: str, scale: float = 1.0):
 
 
 class _TallyObserver(runner.SweepObserver):
-    """Accumulates hit/miss counts across the sweeps of one experiment,
-    optionally echoing per-point progress lines to stderr."""
+    """Accumulates hit/miss counts and simulated-work totals across the
+    sweeps of one experiment, optionally echoing per-point progress
+    lines to stderr and fanning events out to extra observers."""
 
-    def __init__(self, progress: bool, extra: runner.SweepObserver | None = None):
+    def __init__(
+        self,
+        progress: bool,
+        extra: list[runner.SweepObserver] | None = None,
+    ):
         self.progress = (
             runner.ProgressObserver() if progress else None
         )
-        self.extra = extra
+        self.extra = list(extra) if extra else []
         self.reset()
 
     def reset(self) -> None:
         self.points = 0
         self.hits = 0
         self.misses = 0
+        self.sim_cycles = 0
+        self.sim_flits = 0
 
     def sweep_started(self, total: int) -> None:
         if self.progress:
             self.progress.sweep_started(total)
-        if self.extra:
-            self.extra.sweep_started(total)
+        for observer in self.extra:
+            observer.sweep_started(total)
 
     def point_finished(self, index, spec, rows, elapsed, cached) -> None:
         self.points += 1
@@ -170,12 +178,14 @@ class _TallyObserver(runner.SweepObserver):
             self.misses += 1
         if self.progress:
             self.progress.point_finished(index, spec, rows, elapsed, cached)
-        if self.extra:
-            self.extra.point_finished(index, spec, rows, elapsed, cached)
+        for observer in self.extra:
+            observer.point_finished(index, spec, rows, elapsed, cached)
 
     def sweep_finished(self, stats) -> None:
-        if self.extra:
-            self.extra.sweep_finished(stats)
+        self.sim_cycles += stats.sim_cycles
+        self.sim_flits += stats.sim_flits
+        for observer in self.extra:
+            observer.sweep_finished(stats)
 
     def summary(self) -> str:
         if not self.points:
@@ -184,6 +194,14 @@ class _TallyObserver(runner.SweepObserver):
             f" — {self.points} points, {self.hits} cached, "
             f"{self.misses} simulated"
         )
+
+    def throughput(self, elapsed: float) -> str:
+        """``" — 1.2M cycles/s, …"`` over ``elapsed``; empty when no
+        simulated work happened (all-cached or analytic runs)."""
+        from repro.perf.meters import throughput_suffix
+
+        rates = throughput_suffix(self.sim_cycles, self.sim_flits, elapsed)
+        return f" — {rates}" if rates else ""
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -262,6 +280,20 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for telemetry artifacts (implies --telemetry)",
     )
     parser.add_argument(
+        "--perf",
+        action="store_true",
+        help="run with REPRO_PERF=1: every simulated fabric profiles "
+        "its own step phases and writes *.perf.json under "
+        "results/perf/ (see docs/perf.md)",
+    )
+    parser.add_argument(
+        "--perf-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for perf profile artifacts (implies --perf)",
+    )
+    parser.add_argument(
         "--percentiles",
         action="store_true",
         help="append latency p50/p95/p99 columns to tables that "
@@ -299,17 +331,31 @@ def main(argv: list[str] | None = None) -> int:
         # --check).
         os.environ["REPRO_TELEMETRY"] = "1"
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.perf_out is not None:
+        os.environ["REPRO_PERF_DIR"] = str(args.perf_out)
+        args.perf = True
+    if args.perf:
+        # Environment (not a parameter) so forked sweep workers attach
+        # a profiler to every fabric they construct.  A cache hit skips
+        # the simulation, so there would be nothing to profile — caching
+        # is disabled wholesale (mirrors --check / --telemetry).
+        os.environ["REPRO_PERF"] = "1"
+        os.environ["REPRO_NO_CACHE"] = "1"
     if args.experiment == "all":
         names = list(PAPER_EXPERIMENTS)
     elif args.experiment == "ablations":
         names = [name for name in EXPERIMENTS if name.startswith("abl_")]
     else:
         names = [args.experiment]
-    extra = None
+    extra = []
     if args.telemetry:
         from repro.telemetry.observer import TelemetryObserver
 
-        extra = TelemetryObserver()
+        extra.append(TelemetryObserver())
+    if args.perf:
+        from repro.perf.observer import PerfObserver
+
+        extra.append(PerfObserver())
     tally = _TallyObserver(progress=args.progress, extra=extra)
     runner.set_default_observer(tally)
     try:
@@ -325,7 +371,8 @@ def main(argv: list[str] | None = None) -> int:
             elapsed = time.perf_counter() - started
             print(table)
             print(
-                f"[{name} finished in {elapsed:.1f}s{tally.summary()}]\n"
+                f"[{name} finished in {elapsed:.1f}s{tally.summary()}"
+                f"{tally.throughput(elapsed)}]\n"
             )
             if name == "fig08":
                 print("Headline:", headline_summary(result), "\n")

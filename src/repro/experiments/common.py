@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.noc.config import SYNTHETIC_PACKET_BITS, NocConfig
 from repro.noc.multinoc import MultiNocFabric
 from repro.noc.simulator import SimulationPhases, run_open_loop
+from repro.perf import meters
 from repro.power.network_power import (
     NetworkPowerBreakdown,
     compute_network_power,
@@ -158,6 +159,7 @@ def run_synthetic_point(
         fabric, pattern, load, packet_bits, seed=seed
     )
     report = run_open_loop(fabric, source, phases)
+    meters.note_report(report)
     power = compute_network_power(report)
     return {
         "config": config.name,
@@ -190,6 +192,7 @@ def run_application_point(
     """One (config, workload) closed-loop measurement row."""
     processor = Processor(config, workload_name, seed=seed)
     result = processor.run(cycles)
+    meters.note_report(result.fabric_report)
     power = compute_network_power(result.fabric_report)
     row = {
         "config": config.name,

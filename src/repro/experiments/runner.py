@@ -48,6 +48,7 @@ from repro.experiments.common import (
 from repro.noc.config import SYNTHETIC_PACKET_BITS, NocConfig
 from repro.noc.multinoc import MultiNocFabric
 from repro.noc.simulator import SimulationPhases
+from repro.perf import meters
 from repro.power.network_power import COMPONENT_NAMES, power_at_port_load
 from repro.power.technology import table2_rows
 from repro.traffic.generators import BurstyTrafficSource
@@ -327,6 +328,7 @@ def _run_bursty(spec: PointSpec) -> list[dict]:
         last_generated = generated
         last_received = received
         last_per_subnet = per_subnet
+    meters.note_fabric(fabric)
     return rows
 
 
@@ -365,11 +367,19 @@ def execute_point(spec: PointSpec) -> list[dict]:
 
 
 def _execute_indexed(item: tuple[int, PointSpec]):
-    """Pool worker body: run one spec, keep its position and timing."""
+    """Pool worker body: run one spec, keep its position and timing.
+
+    Also returns the worker's pid (for busy-time attribution in
+    :class:`SweepStats`) and the simulated work the point performed —
+    a ``(cycles, flits)`` delta from the per-point work meter, so a
+    forked pool can ship worker-side counts back to the parent.
+    """
     index, spec = item
+    meters.begin_point()
     started = time.perf_counter()
     rows = execute_point(spec)
-    return index, rows, time.perf_counter() - started
+    elapsed = time.perf_counter() - started
+    return index, rows, elapsed, os.getpid(), meters.drain_point()
 
 
 # -- on-disk cache -----------------------------------------------------
@@ -459,13 +469,33 @@ def env_jobs(default: int | None = None) -> int:
 
 @dataclass
 class SweepStats:
-    """Aggregate record of one :func:`run_sweep` call."""
+    """Aggregate record of one :func:`run_sweep` call.
+
+    ``sim_cycles``/``sim_flits`` count the simulated work behind the
+    cache misses (cache hits simulate nothing); ``worker_busy_seconds``
+    maps each worker pid to its in-point execution time, and
+    ``exec_wall_seconds`` is the wall-clock of the execution section
+    alone, so ``sum(busy) / (exec_wall * workers)`` is the pool's
+    utilization.
+    """
 
     points: int = 0
     cache_hits: int = 0
     cache_misses: int = 0
     wall_seconds: float = 0.0
     point_seconds: list[float] = field(default_factory=list)
+    sim_cycles: int = 0
+    sim_flits: int = 0
+    workers: int = 0
+    exec_wall_seconds: float = 0.0
+    worker_busy_seconds: dict[int, float] = field(default_factory=dict)
+
+    def worker_utilization(self) -> float:
+        """Busy fraction of the worker pool over the execution section."""
+        denominator = self.exec_wall_seconds * self.workers
+        if denominator <= 0:
+            return 0.0
+        return sum(self.worker_busy_seconds.values()) / denominator
 
 
 class SweepObserver:
@@ -516,11 +546,24 @@ class ProgressObserver(SweepObserver):
         )
 
     def sweep_finished(self, stats: SweepStats) -> None:
-        print(
+        line = (
             f"  sweep: {stats.points} points, {stats.cache_hits} cached, "
-            f"{stats.cache_misses} simulated in {stats.wall_seconds:.2f}s",
-            file=self.stream,
+            f"{stats.cache_misses} simulated in {stats.wall_seconds:.2f}s"
         )
+        from repro.perf.meters import throughput_suffix
+
+        rates = throughput_suffix(
+            stats.sim_cycles, stats.sim_flits, stats.wall_seconds
+        )
+        if rates:
+            line += f" ({rates})"
+        if stats.workers:
+            line += (
+                f"; {stats.workers} worker"
+                f"{'s' if stats.workers != 1 else ''} "
+                f"{100.0 * stats.worker_utilization():.0f}% busy"
+            )
+        print(line, file=self.stream)
 
 
 _default_observer: SweepObserver | None = None
@@ -583,25 +626,47 @@ def run_sweep(
         else:
             pending.append((index, spec))
 
-    def record(index: int, rows: list[dict], elapsed: float) -> None:
+    def record(
+        index: int,
+        rows: list[dict],
+        elapsed: float,
+        pid: int,
+        work: tuple[int, int],
+        from_worker: bool,
+    ) -> None:
         rows_by_index[index] = rows
         stats.cache_misses += 1
         stats.point_seconds.append(elapsed)
+        stats.sim_cycles += work[0]
+        stats.sim_flits += work[1]
+        stats.worker_busy_seconds[pid] = (
+            stats.worker_busy_seconds.get(pid, 0.0) + elapsed
+        )
+        if from_worker:
+            # Pool workers accumulate into their own (forked) process
+            # meter, which dies with them; fold their shipped delta
+            # into this process's lifetime total.  Serial points ran
+            # in-process and are already counted.
+            meters.WORK.add(*work)
         if cache is not None:
             cache.put(specs[index], rows)
         observer.point_finished(index, specs[index], rows, elapsed, False)
 
     if pending:
         workers = min(jobs, len(pending))
+        stats.workers = workers
+        exec_started = time.perf_counter()
         if workers > 1:
             with _pool_context().Pool(workers) as pool:
-                for index, rows, elapsed in pool.imap_unordered(
+                for index, rows, elapsed, pid, work in pool.imap_unordered(
                     _execute_indexed, pending
                 ):
-                    record(index, rows, elapsed)
+                    record(index, rows, elapsed, pid, work, True)
         else:
             for item in pending:
-                record(*_execute_indexed(item))
+                index, rows, elapsed, pid, work = _execute_indexed(item)
+                record(index, rows, elapsed, pid, work, False)
+        stats.exec_wall_seconds = time.perf_counter() - exec_started
 
     stats.wall_seconds = time.perf_counter() - started
     observer.sweep_finished(stats)

@@ -13,6 +13,9 @@ the same subnet.
 The NI is also where two congestion metrics are measured (injection
 rate, injection-queue occupancy) and where sleeping local routers are
 woken before injection.
+
+:meth:`NetworkInterface.step` is the ``ni_packetization`` phase of the
+simulator's self-profile (``REPRO_PERF=1``, see ``docs/perf.md``).
 """
 
 from __future__ import annotations

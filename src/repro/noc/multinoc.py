@@ -117,6 +117,16 @@ class MultiNocFabric:
             for network in self.subnets:
                 for router in network.routers:
                     router.track_blocking = True
+        # Simulator self-profiling (repro.perf): attached FIRST so the
+        # invariant checker and telemetry hub below wrap the phased
+        # step — their instance shadows capture whatever ``step`` is
+        # bound at attach time, so the three observers compose.
+        self.perf = None
+        perf = os.environ.get("REPRO_PERF", "")
+        if perf and perf != "0":
+            from repro.perf.profiler import PhaseProfiler
+
+            self.perf = PhaseProfiler.from_env(self).attach()
         # Runtime invariant checking (repro.analysis.invariants): the
         # checker shadows ``step`` on this instance only, so unchecked
         # fabrics keep the unhooked fast path with zero overhead.

@@ -121,7 +121,7 @@ class Router:
             for v in range(vcs_per_port)
         ]
         # Route table cached from the routing function (set by the
-        # owning network) for flat look-ahead lookups in _forward.
+        # owning network) for flat lookups in _lookahead_route.
         self._route_table: list[int] | None = None
         self._route_nodes = 0
 
@@ -240,7 +240,8 @@ class Router:
                     network.request_wakeup(downstream, self.node)
                 continue
             self._forward(
-                in_port, in_vc, flit, out_port, out_vc, downstream, cycle
+                in_port, in_vc, flit, out_port, out_vc, downstream,
+                self._lookahead_route(out_port, flit.packet.dst), cycle,
             )
             used_in |= in_bit
             used_out |= out_bit
@@ -283,6 +284,25 @@ class Router:
                 return True
         return False
 
+    def _lookahead_route(self, out_port: int, dst: int) -> int:
+        """Output port the flit will take at the downstream router.
+
+        Look-ahead routing (route compute) runs while the flit crosses
+        this switch; :mod:`repro.perf` times it as its own pipeline
+        stage, so it stays a separate method from :meth:`_forward`.
+        """
+        table = self._route_table
+        if table is not None:
+            return table[
+                self.neighbor_node[out_port] * self._route_nodes + dst
+            ]
+        network = self.network
+        if network is None:
+            raise RuntimeError("router not attached to a network")
+        return network.routing.output_port(
+            self.neighbor_node[out_port], dst
+        )
+
     def _forward(
         self,
         in_port: int,
@@ -291,6 +311,7 @@ class Router:
         out_port: int,
         out_vc: int,
         downstream: "Router",
+        next_route: int,
         cycle: int,
     ) -> None:
         ports = self.ports
@@ -304,21 +325,10 @@ class Router:
         if flit.is_tail:
             self.out_owner[out_port][out_vc] = False
             channel.release_allocation()
-        # Look-ahead routing: compute the output port the flit will take
-        # at the downstream router while it traverses this switch.
         network = self.network
         if network is None:
             raise RuntimeError("router not attached to a network")
-        table = self._route_table
-        if table is not None:
-            flit.route = table[
-                self.neighbor_node[out_port] * self._route_nodes
-                + flit.packet.dst
-            ]
-        else:
-            flit.route = network.routing.output_port(
-                self.neighbor_node[out_port], flit.packet.dst
-            )
+        flit.route = next_route
         flit.vc = out_vc
         downstream.expected_arrivals += 1
         network.send(flit, downstream, Port.OPPOSITE[out_port], out_vc, cycle)

@@ -1,0 +1,82 @@
+"""Sweep-runner integration: report profile artifacts per point.
+
+Phase profilers attach inside sweep worker processes (the fabric
+constructor reads ``REPRO_PERF``), so the parent CLI process never
+sees the profiler objects themselves — only the files they flush.
+:class:`PerfObserver` plugs into the sweep observer chain and reports
+every profile artifact that appears in the perf directory while a
+sweep runs, mirroring :class:`repro.telemetry.observer.TelemetryObserver`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, TextIO
+
+from repro.experiments.runner import SweepObserver, SweepStats
+from repro.perf.profiler import DEFAULT_DIR
+
+__all__ = ["PerfObserver"]
+
+#: File suffixes the profiler's ``flush`` produces.
+_ARTIFACT_SUFFIXES = (".perf.json", ".pstats", ".folded.txt")
+
+
+class PerfObserver(SweepObserver):
+    """Announces new profile artifacts as sweep points complete."""
+
+    def __init__(
+        self, directory: str | None = None, stream: "TextIO | None" = None
+    ) -> None:
+        import sys
+
+        self.directory = (
+            directory
+            or os.environ.get("REPRO_PERF_DIR", "")
+            or DEFAULT_DIR
+        )
+        self.stream = stream if stream is not None else sys.stderr
+        self._known: set[str] = set()
+        #: Every artifact path reported so far, in report order.
+        self.reported: list[str] = []
+
+    def _scan(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            name
+            for name in names
+            if name.endswith(_ARTIFACT_SUFFIXES)
+        )
+
+    def _report_fresh(self) -> None:
+        for name in self._scan():
+            if name in self._known:
+                continue
+            self._known.add(name)
+            path = os.path.join(self.directory, name)
+            self.reported.append(path)
+            print(f"  perf: {path}", file=self.stream)
+
+    # -- SweepObserver hooks ------------------------------------------
+    def sweep_started(self, total: int) -> None:
+        # Pre-existing artifacts belong to earlier runs; only report
+        # what this sweep produces.
+        self._known.update(self._scan())
+
+    def point_finished(
+        self,
+        index: int,
+        spec: Any,
+        rows: list[dict],
+        elapsed: float,
+        cached: bool,
+    ) -> None:
+        self._report_fresh()
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        # Parallel workers may flush after their point_finished record
+        # was consumed; catch any stragglers.
+        self._report_fresh()

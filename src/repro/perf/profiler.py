@@ -1,0 +1,456 @@
+"""The phase profiler: where does the simulator's wall-clock go?
+
+``PhaseProfiler`` observes one :class:`~repro.noc.multinoc.MultiNocFabric`
+by *shadowing* instance methods, the exact contract of
+:class:`repro.telemetry.hub.TelemetryHub` and
+:class:`repro.analysis.invariants.InvariantChecker`:
+
+* ``fabric.step`` — replaced by a phase-bracketed mirror of the step
+  loop that times link delivery, the congestion monitor, NI
+  packetization, the router pipeline, and the gating controller with
+  ``time.perf_counter_ns``;
+* ``fabric.report`` — autoflushes a ``*.perf.json`` profile artifact
+  next to the report when the profiler was attached via the
+  environment;
+* ``monitor.regional.update`` — timed separately so the RCS OR-network
+  cost is split out of the monitor phase.
+
+The router pipeline slice is further split into the paper's four
+stages (route compute, VC alloc, switch alloc, switch traversal) by
+:func:`repro.perf.phases.profiled_router_step`; ``Router`` declares
+``__slots__`` so it cannot be shadowed per instance, and the profiler
+therefore drives that stage-timed mirror from its own step loop.
+
+Because shadowing only touches *instances*, a fabric without a
+profiler executes the original unhooked class methods: profiling-off
+runs take the identical code path as a build without this package.
+Profiling *on* has a deliberate observer cost (two clock reads per
+phase and per bracketed stage event) — it buys a per-phase breakdown;
+use the throughput meters (:mod:`repro.perf.meters`) when only
+aggregate rates are needed.
+
+Enable with ``REPRO_PERF=1`` (see :func:`perf_enabled`); artifacts go
+to ``REPRO_PERF_DIR`` (default ``results/perf``).  Setting
+``REPRO_PERF_CPROFILE=1`` additionally captures a deterministic
+``cProfile`` of every step and flushes a ``.pstats`` dump plus a
+caller;callee collapsed-stack text file ready for flame-graph tools
+(see ``docs/perf.md``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from time import perf_counter_ns
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.perf.phases import (
+    ROUTER_STAGES,
+    STEP_PHASES,
+    StageClock,
+    profiled_router_step,
+)
+from repro.util.ascii_plot import bar_chart
+from repro.util.histogram import BoundedHistogram
+
+if TYPE_CHECKING:
+    import cProfile
+
+    from repro.noc.multinoc import FabricReport, MultiNocFabric
+
+__all__ = [
+    "PROFILE_SCHEMA",
+    "DEFAULT_DIR",
+    "PhaseProfiler",
+    "perf_enabled",
+    "cprofile_enabled",
+    "maybe_attach",
+]
+
+#: Schema tag stamped into every ``*.perf.json`` artifact.
+PROFILE_SCHEMA = "repro.perf.profile/1"
+
+#: Default artifact directory (override with ``REPRO_PERF_DIR``).
+DEFAULT_DIR = os.path.join("results", "perf")
+
+#: Coarse phases sampled per step into bounded histograms.
+_HISTOGRAM_PHASES = (
+    "link_delivery",
+    "monitor",
+    "ni_packetization",
+    "router_pipeline",
+    "gating",
+    "step",
+)
+
+
+def _env_flag(name: str) -> bool:
+    value = os.environ.get(name, "")
+    return value not in ("", "0")
+
+
+def perf_enabled() -> bool:
+    """True when ``REPRO_PERF`` asks for simulator self-profiling."""
+    return _env_flag("REPRO_PERF")
+
+
+def cprofile_enabled() -> bool:
+    """True when ``REPRO_PERF_CPROFILE`` asks for a cProfile capture."""
+    return _env_flag("REPRO_PERF_CPROFILE")
+
+
+def maybe_attach(fabric: "MultiNocFabric") -> "PhaseProfiler | None":
+    """Attach a profiler to ``fabric`` when ``REPRO_PERF`` is set."""
+    if not perf_enabled():
+        return None
+    return PhaseProfiler.from_env(fabric).attach()
+
+
+class PhaseProfiler:
+    """Per-phase wall-clock accounting for one fabric instance."""
+
+    def __init__(
+        self,
+        fabric: "MultiNocFabric",
+        out_dir: str | None = None,
+        capture_cprofile: bool = False,
+    ) -> None:
+        self.fabric = fabric
+        self.out_dir = out_dir
+        self.attached = False
+        self.steps = 0
+        # Nanosecond accumulators for the top-level step slices.
+        self._ns_link = 0
+        self._ns_monitor = 0
+        self._ns_regional = 0
+        self._ns_ni = 0
+        self._ns_router = 0
+        self._ns_gating = 0
+        self._ns_step = 0
+        self._clock = StageClock()
+        self.step_histograms = {
+            name: BoundedHistogram() for name in _HISTOGRAM_PHASES
+        }
+        self._flits_at_attach = self._flits_routed_now()
+        self._flush_count = 0
+        self._saved: list[tuple[object, str, bool, object]] = []
+        self._cprofile: "cProfile.Profile | None" = None
+        if capture_cprofile:
+            import cProfile as _cprofile
+
+            self._cprofile = _cprofile.Profile()
+
+    # ------------------------------------------------------------------
+    # Construction from the environment
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_env(cls, fabric: "MultiNocFabric") -> "PhaseProfiler":
+        """Build a profiler configured by ``REPRO_PERF_*`` variables."""
+        out_dir = os.environ.get("REPRO_PERF_DIR", "") or DEFAULT_DIR
+        return cls(
+            fabric,
+            out_dir=out_dir,
+            capture_cprofile=cprofile_enabled(),
+        )
+
+    # ------------------------------------------------------------------
+    # Attach / detach (per-instance shadowing)
+    # ------------------------------------------------------------------
+    def _shadow(self, obj: Any, name: str, replacement: Any) -> None:
+        had = name in obj.__dict__
+        self._saved.append((obj, name, had, obj.__dict__.get(name)))
+        setattr(obj, name, replacement)
+
+    def attach(self) -> "PhaseProfiler":
+        """Install the step/report/regional probes; returns ``self``."""
+        if self.attached:
+            return self
+        fabric = self.fabric
+        regional = fabric.monitor.regional
+        self._orig_report: Callable[[], "FabricReport"] = fabric.report
+        self._orig_regional_update = regional.update
+        self._shadow(fabric, "step", self._profiled_step)
+        self._shadow(fabric, "report", self._profiled_report)
+        self._shadow(regional, "update", self._timed_regional_update)
+        self.attached = True
+        return self
+
+    def detach(self) -> None:
+        """Remove every probe, restoring the pre-attach attributes."""
+        if not self.attached:
+            return
+        for obj, name, had, value in reversed(self._saved):
+            if had:
+                setattr(obj, name, value)
+            else:
+                delattr(obj, name)
+        self._saved.clear()
+        self.attached = False
+
+    # ------------------------------------------------------------------
+    # Shadowed methods
+    # ------------------------------------------------------------------
+    def _profiled_step(self) -> None:
+        """Phase-bracketed mirror of :meth:`MultiNocFabric.step`.
+
+        Identical call order and state mutation as the plain step (the
+        equivalence test in ``tests/test_perf_profiler.py`` holds this
+        to byte-identical fabric reports); the only additions are clock
+        reads at the phase boundaries.
+        """
+        fabric = self.fabric
+        clock = self._clock
+        prof = self._cprofile
+        if prof is not None:
+            prof.enable()
+        t_begin = perf_counter_ns()
+        cycle = fabric.cycle
+        subnets = fabric.subnets
+        for network in subnets:
+            network.deliver_arrivals(cycle)
+        t1 = perf_counter_ns()
+        fabric.monitor.update(cycle, subnets, fabric.nis)
+        t2 = perf_counter_ns()
+        for ni in fabric.nis:
+            ni.step(cycle)
+        t3 = perf_counter_ns()
+        for network in subnets:
+            for router in network.routers:
+                if router.buffered_flits:
+                    profiled_router_step(router, cycle, clock)
+            network.counters.flit_cycles += network.flits_in_network
+        t4 = perf_counter_ns()
+        fabric.gating.step(cycle)
+        t5 = perf_counter_ns()
+        fabric.cycle = cycle + 1
+        if prof is not None:
+            prof.disable()
+        self._ns_link += t1 - t_begin
+        self._ns_monitor += t2 - t1
+        self._ns_ni += t3 - t2
+        self._ns_router += t4 - t3
+        self._ns_gating += t5 - t4
+        self._ns_step += t5 - t_begin
+        self.steps += 1
+        hists = self.step_histograms
+        hists["link_delivery"].record(t1 - t_begin)
+        hists["monitor"].record(t2 - t1)
+        hists["ni_packetization"].record(t3 - t2)
+        hists["router_pipeline"].record(t4 - t3)
+        hists["gating"].record(t5 - t4)
+        hists["step"].record(t5 - t_begin)
+
+    def _profiled_report(self) -> "FabricReport":
+        report = self._orig_report()
+        if self.out_dir is not None:
+            self.flush()
+        return report
+
+    def _timed_regional_update(
+        self, cycle: int, lcs: list[list[bool]]
+    ) -> None:
+        t0 = perf_counter_ns()
+        self._orig_regional_update(cycle, lcs)
+        self._ns_regional += perf_counter_ns() - t0
+
+    # ------------------------------------------------------------------
+    # Derived breakdowns
+    # ------------------------------------------------------------------
+    def _flits_routed_now(self) -> int:
+        return sum(
+            network.counters.crossbar_traversals
+            for network in self.fabric.subnets
+        )
+
+    def phase_seconds(self) -> dict[str, float]:
+        """Seconds per top-level phase; keys are :data:`STEP_PHASES`.
+
+        The phases partition the measured step time: ``monitor_lcs``
+        excludes the separately timed regional update, ``step_other``
+        is the unbracketed residual (loop glue, clock overhead), and
+        every value is clamped non-negative, so the sum never exceeds
+        the whole-step measurement.
+        """
+        link = self._ns_link
+        regional = min(self._ns_regional, self._ns_monitor)
+        monitor_lcs = self._ns_monitor - regional
+        ni = self._ns_ni
+        router = self._ns_router
+        gating = self._ns_gating
+        bracketed = link + self._ns_monitor + ni + router + gating
+        other = max(0, self._ns_step - bracketed)
+        values = {
+            "link_delivery": link,
+            "monitor_lcs": monitor_lcs,
+            "regional_update": regional,
+            "ni_packetization": ni,
+            "router_pipeline": router,
+            "gating": gating,
+            "step_other": other,
+        }
+        return {name: values[name] / 1e9 for name in STEP_PHASES}
+
+    def router_stage_seconds(self) -> dict[str, float]:
+        """Seconds per router pipeline stage (:data:`ROUTER_STAGES`).
+
+        ``switch_alloc`` is the scan/arbitration residual of the
+        pipeline slice around the three bracketed stages.
+        """
+        clock = self._clock
+        alloc = max(0, self._ns_router - clock.bracketed_total())
+        values = {
+            "switch_alloc": alloc,
+            "vc_alloc": clock.vc_alloc,
+            "route_compute": clock.route_compute,
+            "switch_traversal": clock.switch_traversal,
+        }
+        return {name: values[name] / 1e9 for name in ROUTER_STAGES}
+
+    @property
+    def step_seconds(self) -> float:
+        """Wall-clock spent inside profiled fabric steps."""
+        return self._ns_step / 1e9
+
+    def throughput(self) -> dict[str, float]:
+        """Simulated cycles/sec and flits-routed/sec while profiled."""
+        seconds = self.step_seconds
+        flits = self._flits_routed_now() - self._flits_at_attach
+        return {
+            "cycles_per_sec": self.steps / seconds if seconds else 0.0,
+            "flits_per_sec": flits / seconds if seconds else 0.0,
+            "flits_routed": float(flits),
+        }
+
+    # ------------------------------------------------------------------
+    # Documents
+    # ------------------------------------------------------------------
+    def profile(self) -> dict:
+        """JSON-safe profile document for this fabric so far."""
+        fabric = self.fabric
+        step_seconds = self.step_seconds
+        phases = self.phase_seconds()
+        stages = self.router_stage_seconds()
+        pipeline = phases["router_pipeline"]
+        return {
+            "schema": PROFILE_SCHEMA,
+            "config": fabric.config.name,
+            "seed": fabric.seed,
+            "cycles": fabric.cycle,
+            "steps_profiled": self.steps,
+            "step_seconds": step_seconds,
+            "phases": {
+                name: {
+                    "seconds": seconds,
+                    "share": seconds / step_seconds if step_seconds else 0.0,
+                }
+                for name, seconds in phases.items()
+            },
+            "router_stages": {
+                name: {
+                    "seconds": seconds,
+                    "share_of_pipeline": (
+                        seconds / pipeline if pipeline else 0.0
+                    ),
+                }
+                for name, seconds in stages.items()
+            },
+            "throughput": self.throughput(),
+            "step_histograms_ns": {
+                name: hist.to_dict()
+                for name, hist in self.step_histograms.items()
+            },
+        }
+
+    def ascii_summary(self) -> str:
+        """Human-readable phase breakdown for terminals and artifacts."""
+        fabric = self.fabric
+        step_seconds = self.step_seconds
+        throughput = self.throughput()
+        lines = [
+            f"perf: {fabric.config.name} seed={fabric.seed} "
+            f"steps={self.steps} step_wall={step_seconds:.3f}s "
+            f"({throughput['cycles_per_sec']:,.0f} cycles/s, "
+            f"{throughput['flits_per_sec']:,.0f} flits/s)",
+        ]
+        phases = self.phase_seconds()
+        if step_seconds:
+            lines.append(
+                bar_chart(
+                    list(phases),
+                    [seconds / step_seconds for seconds in phases.values()],
+                    title="step time by phase:",
+                )
+            )
+            stages = self.router_stage_seconds()
+            pipeline = phases["router_pipeline"]
+            if pipeline:
+                lines.append(
+                    bar_chart(
+                        list(stages),
+                        [s / pipeline for s in stages.values()],
+                        title="router pipeline by stage:",
+                    )
+                )
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def _folded_stacks(self) -> list[str]:
+        """Collapsed caller;callee lines from the cProfile capture.
+
+        cProfile records caller→callee edges (not full stacks), so the
+        folded output is two frames deep — enough for flamegraph.pl or
+        speedscope to show where time pools and from where it is
+        reached.  Weights are edge-attributed total microseconds.
+        """
+        if self._cprofile is None:
+            return []
+        import pstats
+
+        def label(func: tuple[str, int, str]) -> str:
+            filename, lineno, name = func
+            base = os.path.basename(filename) if filename else "~"
+            return f"{base}:{lineno}:{name}".replace(" ", "_")
+
+        lines = []
+        stats = pstats.Stats(self._cprofile)
+        for func, (_cc, _nc, tottime, _ct, callers) in stats.stats.items():
+            if not callers:
+                micros = int(round(tottime * 1e6))
+                if micros:
+                    lines.append(f"{label(func)} {micros}")
+                continue
+            for caller, (_ecc, _enc, edge_tot, _ect) in callers.items():
+                micros = int(round(edge_tot * 1e6))
+                if micros:
+                    lines.append(f"{label(caller)};{label(func)} {micros}")
+        return sorted(lines)
+
+    def flush(self) -> dict[str, str]:
+        """Write the profile artifacts; return their paths.
+
+        Files are named ``{config}-s{seed}-p{pid}-r{n}`` so parallel
+        sweep workers and repeated flushes never collide (the same
+        convention as telemetry artifacts).
+        """
+        out_dir = self.out_dir if self.out_dir is not None else DEFAULT_DIR
+        os.makedirs(out_dir, exist_ok=True)
+        fabric = self.fabric
+        stem = (
+            f"{fabric.config.name}-s{fabric.seed}"
+            f"-p{os.getpid()}-r{self._flush_count}"
+        )
+        self._flush_count += 1
+        paths = {"profile": os.path.join(out_dir, f"{stem}.perf.json")}
+        with open(paths["profile"], "w", encoding="utf-8") as handle:
+            json.dump(self.profile(), handle, separators=(",", ":"))
+        if self._cprofile is not None:
+            paths["pstats"] = os.path.join(out_dir, f"{stem}.pstats")
+            self._cprofile.dump_stats(paths["pstats"])
+            paths["folded"] = os.path.join(
+                out_dir, f"{stem}.folded.txt"
+            )
+            with open(paths["folded"], "w", encoding="utf-8") as handle:
+                handle.write("\n".join(self._folded_stacks()) + "\n")
+        return paths

@@ -1,0 +1,230 @@
+"""Tests for the simulator phase profiler (repro.perf.profiler).
+
+The contract under test mirrors the telemetry hub's: a fabric without
+``REPRO_PERF`` carries no instance shadows (zero overhead,
+structurally); an attached profiler changes *nothing* about simulation
+behaviour (byte-identical fabric reports); its phase breakdown
+partitions the measured step time; and flushes produce schema-valid
+artifacts (plus cProfile outputs when asked).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from repro.noc.config import NocConfig, PowerGatingConfig
+from repro.noc.multinoc import MultiNocFabric
+from repro.perf.phases import ROUTER_STAGES, STEP_PHASES
+from repro.perf.profiler import (
+    PROFILE_SCHEMA,
+    PhaseProfiler,
+    cprofile_enabled,
+    maybe_attach,
+    perf_enabled,
+)
+from repro.traffic.generators import SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+
+CYCLES = 600
+LOAD = 0.15
+
+
+def _config() -> NocConfig:
+    return NocConfig(
+        mesh_cols=4,
+        mesh_rows=4,
+        num_subnets=2,
+        link_width_bits=128,
+        voltage_v=0.625,
+        gating=PowerGatingConfig(enabled=True),
+    )
+
+
+def _run(fabric: MultiNocFabric, cycles: int = CYCLES) -> None:
+    source = SyntheticTrafficSource(
+        fabric, make_pattern("uniform", fabric.mesh), LOAD, 128, seed=7
+    )
+    for _ in range(cycles):
+        source.step(fabric.cycle)
+        fabric.step()
+
+
+class TestZeroOverheadWhenDetached:
+    def test_perf_off_is_the_class_fast_path(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        assert fabric.perf is None
+        assert not perf_enabled()
+        assert "step" not in fabric.__dict__
+        assert "report" not in fabric.__dict__
+        assert fabric.step.__func__ is MultiNocFabric.step
+        assert fabric.report.__func__ is MultiNocFabric.report
+        assert "update" not in fabric.monitor.regional.__dict__
+
+    def test_maybe_attach_respects_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        assert maybe_attach(MultiNocFabric(_config(), seed=7)) is None
+        monkeypatch.setenv("REPRO_PERF", "0")
+        assert maybe_attach(MultiNocFabric(_config(), seed=7)) is None
+        assert not cprofile_enabled()
+
+    def test_detach_restores_everything(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=None).attach()
+        assert "step" in fabric.__dict__
+        assert "update" in fabric.monitor.regional.__dict__
+        profiler.detach()
+        assert "step" not in fabric.__dict__
+        assert "report" not in fabric.__dict__
+        assert "update" not in fabric.monitor.regional.__dict__
+        assert fabric.step.__func__ is MultiNocFabric.step
+
+
+class TestBehavioralEquivalence:
+    def test_profiled_run_matches_plain_run(self, monkeypatch):
+        """The stage-timed router mirror and the phased step must not
+        drift from the plain code path: same seed, same traffic —
+        identical fabric report, field for field."""
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        plain = MultiNocFabric(_config(), seed=7)
+        _run(plain)
+        plain_report = plain.report()
+
+        profiled = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(profiled, out_dir=None).attach()
+        _run(profiled)
+        profiled_report = profiled.report()
+
+        assert dataclasses.asdict(plain_report) == dataclasses.asdict(
+            profiled_report
+        )
+        assert profiler.steps == CYCLES
+
+
+class TestPhaseAccounting:
+    def test_phases_partition_step_time(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=None).attach()
+        _run(fabric)
+        phases = profiler.phase_seconds()
+        assert tuple(phases) == STEP_PHASES
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        total = sum(phases.values())
+        step = profiler.step_seconds
+        assert step > 0
+        # Acceptance: phase times sum to >= 90% of measured step time
+        # (by construction they partition it minus clamping).
+        assert total >= 0.9 * step
+        assert total <= step * 1.0000001
+
+    def test_router_stages_partition_pipeline(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=None).attach()
+        _run(fabric)
+        stages = profiler.router_stage_seconds()
+        assert tuple(stages) == ROUTER_STAGES
+        pipeline = profiler.phase_seconds()["router_pipeline"]
+        assert sum(stages.values()) <= pipeline * 1.0000001
+        # Traffic flowed, so traversal and allocation actually ran.
+        assert stages["switch_traversal"] > 0
+        assert stages["vc_alloc"] > 0
+        assert stages["route_compute"] > 0
+
+    def test_throughput_counts_real_work(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=None).attach()
+        _run(fabric)
+        throughput = profiler.throughput()
+        assert throughput["cycles_per_sec"] > 0
+        assert throughput["flits_per_sec"] > 0
+        assert throughput["flits_routed"] > 0
+
+    def test_ascii_summary_renders(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=None).attach()
+        _run(fabric, cycles=50)
+        text = profiler.ascii_summary()
+        assert "router_pipeline" in text
+        assert "cycles/s" in text
+
+
+class TestArtifacts:
+    def test_flush_writes_schema_valid_profile(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=str(tmp_path)).attach()
+        _run(fabric, cycles=50)
+        paths = profiler.flush()
+        with open(paths["profile"], encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert doc["schema"] == PROFILE_SCHEMA
+        assert doc["config"] == fabric.config.name
+        assert doc["steps_profiled"] == 50
+        assert set(doc["phases"]) == set(STEP_PHASES)
+        assert set(doc["router_stages"]) == set(ROUTER_STAGES)
+        assert "step" in doc["step_histograms_ns"]
+        # Repeated flushes get fresh names (no clobbering).
+        second = profiler.flush()
+        assert second["profile"] != paths["profile"]
+
+    def test_report_autoflushes_via_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_PERF", "1")
+        monkeypatch.setenv("REPRO_PERF_DIR", str(tmp_path))
+        fabric = MultiNocFabric(_config(), seed=7)
+        assert fabric.perf is not None
+        _run(fabric, cycles=50)
+        fabric.report()
+        artifacts = [
+            name
+            for name in os.listdir(tmp_path)
+            if name.endswith(".perf.json")
+        ]
+        assert len(artifacts) == 1
+
+    def test_cprofile_capture_emits_folded_stacks(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(
+            fabric, out_dir=str(tmp_path), capture_cprofile=True
+        ).attach()
+        _run(fabric, cycles=50)
+        paths = profiler.flush()
+        assert os.path.exists(paths["pstats"])
+        with open(paths["folded"], encoding="utf-8") as handle:
+            lines = [line for line in handle.read().splitlines() if line]
+        assert lines, "cProfile capture produced no folded stacks"
+        for line in lines:
+            frames, _, weight = line.rpartition(" ")
+            assert frames
+            assert int(weight) > 0
+        # Router work must be visible in the capture.
+        assert any("step" in line for line in lines)
+
+
+class TestShowCli:
+    def test_show_renders_profile(self, tmp_path, monkeypatch, capsys):
+        from repro.perf.__main__ import main
+
+        monkeypatch.delenv("REPRO_PERF", raising=False)
+        fabric = MultiNocFabric(_config(), seed=7)
+        profiler = PhaseProfiler(fabric, out_dir=str(tmp_path)).attach()
+        _run(fabric, cycles=50)
+        paths = profiler.flush()
+        assert main(["show", paths["profile"]]) == 0
+        out = capsys.readouterr().out
+        assert "router_pipeline" in out
+        assert "switch_traversal" in out
+
+    def test_show_unreadable_path_fails(self, tmp_path, capsys):
+        from repro.perf.__main__ import main
+
+        assert main(["show", str(tmp_path / "missing.perf.json")]) == 1
