@@ -35,6 +35,18 @@ conservation laws the simulator's distributed state must obey:
 All violations raise :class:`InvariantViolation` carrying the
 invariant name, the cycle, and a precise diagnostic.
 
+Fault-aware mode: when a :class:`repro.faults.engine.FaultEngine` is
+attached to the same fabric (``REPRO_FAULTS``), the checker reconciles
+each law against the engine's ledgers before raising — a flit the
+engine deliberately dropped or a credit it deliberately lost is an
+*expected* discrepancy, counted in :attr:`InvariantChecker.expected`
+instead of raised, and a deadlock-watchdog trip while a
+progress-blocking fault class is in effect is reported to the engine
+(``fatal`` in its :class:`~repro.faults.report.FaultReport`) rather
+than raised.  Any discrepancy beyond what the event log explains still
+raises, so ``REPRO_CHECK=1`` composes with fault injection without
+losing its teeth.
+
 Overhead is zero when disabled: the checker wraps ``fabric.step`` via
 an instance attribute, so an unchecked fabric runs the original bound
 method with no extra branches.  ``REPRO_CHECK_INTERVAL`` (default 1)
@@ -175,10 +187,27 @@ class InvariantChecker:
                 "deadlock",
             )
         }
+        #: Violations explained by the fault-injection event log and
+        #: downgraded to *expected* instead of raised (fault-aware
+        #: mode; zero when no engine is attached).
+        self.expected: dict[str, int] = {
+            "flit-conservation": 0,
+            "credit-conservation": 0,
+            "deadlock": 0,
+        }
         self._orig_step: Any = None
         self._since_check = 0
         self._last_progress = -1
         self._stalled_for = 0
+
+    def _fault_engine(self) -> Any:
+        """The fabric's fault engine, or None.
+
+        Resolved per check (not cached at attach): campaign points
+        attach their engine *after* fabric construction, so an
+        attach-time snapshot would miss it.
+        """
+        return getattr(self.fabric, "faults", None)
 
     # ------------------------------------------------------------------
     # Attachment
@@ -267,16 +296,25 @@ class InvariantChecker:
         self.counts["flit-conservation"] += 1
         counters = network.counters
         outstanding = counters.flits_injected - counters.flits_ejected
-        if outstanding != network.flits_in_network:
+        engine = self._fault_engine()
+        dropped = (
+            engine.dropped_flits_in(network.subnet)
+            if engine is not None
+            else 0
+        )
+        if outstanding != network.flits_in_network + dropped:
             raise InvariantViolation(
                 "flit-conservation",
                 cycle,
                 f"subnet {network.subnet}: injected "
                 f"{counters.flits_injected} - ejected "
                 f"{counters.flits_ejected} = {outstanding}, but "
-                f"flits_in_network = {network.flits_in_network} "
-                "(a flit was lost or duplicated)",
+                f"flits_in_network = {network.flits_in_network}"
+                + (f" + {dropped} injected-fault drops" if dropped else "")
+                + " (a flit was lost or duplicated)",
             )
+        if dropped:
+            self.expected["flit-conservation"] += 1
         buffered = sum(r.buffered_flits for r in network.routers)
         present = buffered + census.total
         if present != network.flits_in_network:
@@ -295,6 +333,8 @@ class InvariantChecker:
         self.counts["credit-conservation"] += 1
         capacity = network.config.flits_per_vc
         vcs = network.config.vcs_per_port
+        subnet = network.subnet
+        engine = self._fault_engine()
         for router in network.routers:
             for out_port in range(Port.COUNT):
                 if out_port == Port.LOCAL:
@@ -310,7 +350,14 @@ class InvariantChecker:
                     in_flight = census.per_channel.get(
                         (id(downstream), in_port, vc), 0
                     )
-                    if credits + occupancy + in_flight != capacity:
+                    lost = (
+                        engine.lost_credit(
+                            subnet, downstream.node, in_port, vc
+                        )
+                        if engine is not None
+                        else 0
+                    )
+                    if credits + occupancy + in_flight + lost != capacity:
                         raise InvariantViolation(
                             "credit-conservation",
                             cycle,
@@ -318,10 +365,13 @@ class InvariantChecker:
                             f"{router.node}->{downstream.node} "
                             f"(port {Port.NAMES[out_port]}, vc {vc}): "
                             f"credits {credits} + buffered {occupancy}"
-                            f" + in-flight {in_flight} != capacity "
-                            f"{capacity} (a credit was lost, forged, "
-                            "or returned twice)",
+                            f" + in-flight {in_flight}"
+                            + (f" + {lost} injected losses" if lost else "")
+                            + f" != capacity {capacity} (a credit was "
+                            "lost, forged, or returned twice)",
                         )
+                    if lost:
+                        self.expected["credit-conservation"] += 1
         # NI -> local router injection link of every node.
         for ni in self.fabric.nis:
             router = network.routers[ni.node]
@@ -333,16 +383,24 @@ class InvariantChecker:
                 in_flight = census.per_channel.get(
                     (id(router), Port.LOCAL, vc), 0
                 )
-                if credits + occupancy + in_flight != capacity:
+                lost = (
+                    engine.lost_credit(subnet, ni.node, Port.LOCAL, vc)
+                    if engine is not None
+                    else 0
+                )
+                if credits + occupancy + in_flight + lost != capacity:
                     raise InvariantViolation(
                         "credit-conservation",
                         cycle,
                         f"subnet {network.subnet} NI->router at node "
                         f"{ni.node} (vc {vc}): credits {credits} + "
                         f"buffered {occupancy} + in-flight {in_flight}"
-                        f" != capacity {capacity} (injection-side "
+                        + (f" + {lost} injected losses" if lost else "")
+                        + f" != capacity {capacity} (injection-side "
                         "credit was lost, forged, or returned twice)",
                     )
+                if lost:
+                    self.expected["credit-conservation"] += 1
 
     def _check_router_accounting(
         self, network: "SubnetNetwork", census: "_RingCensus", cycle: int
@@ -438,6 +496,16 @@ class InvariantChecker:
             return
         self._stalled_for += self.interval
         if self._stalled_for >= self.stall_cycles:
+            engine = self._fault_engine()
+            if engine is not None and engine.has_blocking_effects():
+                # A progress-blocking fault class actually hit: the
+                # stall is an injected outcome, not a simulator bug.
+                # Report it to the engine (its FaultReport counts the
+                # trip as fatal) and re-arm the watchdog.
+                self.expected["deadlock"] += 1
+                engine.note_watchdog_trip(cycle)
+                self._stalled_for = 0
+                return
             raise InvariantViolation(
                 "deadlock",
                 cycle,

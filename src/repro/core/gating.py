@@ -24,11 +24,16 @@ use it to see what this controller costs per simulated cycle.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
 
 from repro.core.monitor import CongestionMonitor
 from repro.noc.config import NocConfig
 from repro.noc.network import SubnetNetwork
 from repro.noc.router import PowerState, Router
+from repro.noc.topology import Port
+
+if TYPE_CHECKING:
+    from repro.noc.interface import NetworkInterface
 
 __all__ = ["GatingPolicy", "GatingStats", "PowerGatingController"]
 
@@ -137,6 +142,15 @@ class PowerGatingController:
         }
         for network in subnets:
             network.wakeup_sink = self._on_wakeup_request
+        # Wake-watchdog state (armed by the repro.faults recovery
+        # layer via arm_wake_timeout; dormant and cost-free otherwise).
+        self._wake_timeout: int | None = None
+        self._wake_backoff = 2.0
+        self._wake_timeout_max = 256
+        self._wait_since: dict[int, int] = {}
+        self._wait_timeout: dict[int, float] = {}
+        #: Wakeups forced by the watchdog (resilience accounting).
+        self.forced_wakes = 0
 
     # ------------------------------------------------------------------
     # Wakeup requests (look-ahead from routers, injection from NIs)
@@ -151,6 +165,96 @@ class PowerGatingController:
         if router.power_state == PowerState.SLEEP:
             self._pending_wakes.add(id(router))
             self.stats[router.subnet].wake_requests += 1
+
+    # ------------------------------------------------------------------
+    # Wake watchdog (the ``wakeup-timeout`` recovery of repro.faults)
+    # ------------------------------------------------------------------
+    def arm_wake_timeout(
+        self,
+        timeout: int,
+        backoff: float = 2.0,
+        max_timeout: int = 256,
+    ) -> None:
+        """Enable the wake watchdog: force-wake routers that keep
+        traffic waiting for ``timeout`` cycles.
+
+        A countermeasure against lost look-ahead wakeups: the normal
+        request wire (:meth:`request_wakeup`) may be faulty, so the
+        watchdog writes pending wakes directly, a redundant wake path.
+        Each forced wake multiplies that router's next timeout by
+        ``backoff`` (saturating at ``max_timeout``) so a router the
+        fabric keeps re-gating is not thrashed awake every period.
+        """
+        if timeout < 1:
+            raise ValueError("wake timeout must be >= 1")
+        if backoff < 1.0:
+            raise ValueError("wake backoff must be >= 1.0")
+        self._wake_timeout = timeout
+        self._wake_backoff = backoff
+        self._wake_timeout_max = max(timeout, max_timeout)
+
+    def wake_on_timeout(
+        self, cycle: int, nis: "Iterable[NetworkInterface]" = ()
+    ) -> int:
+        """Run one watchdog pass; return the number of forced wakes.
+
+        A sleeping router is *waited on* when an NI holds a streaming
+        slot for it or an upstream head flit routes to it.  Once a
+        router has been continuously waited on for its current timeout
+        the watchdog adds it to the pending-wake set directly
+        (bypassing the request wire) and backs its timeout off.
+        """
+        if self._wake_timeout is None or self.policy == GatingPolicy.NONE:
+            return 0
+        waiting: set[int] = set()
+        for ni in nis:
+            for subnet, network in enumerate(self.subnets):
+                router = network.routers[ni.node]
+                if router.power_state == PowerState.SLEEP and any(
+                    slot is not None for slot in ni._slots[subnet]
+                ):
+                    waiting.add(id(router))
+        for network in self.subnets:
+            for router in network.routers:
+                if (
+                    router.power_state != PowerState.ACTIVE
+                    or not router.buffered_flits
+                ):
+                    continue
+                for port in router.ports:
+                    for channel in port.vcs:
+                        if not channel.fifo:
+                            continue
+                        out_port = channel.fifo[0].route
+                        if out_port == Port.LOCAL:
+                            continue
+                        downstream = router.neighbor_router[out_port]
+                        if (
+                            downstream is not None
+                            and downstream.power_state == PowerState.SLEEP
+                        ):
+                            waiting.add(id(downstream))
+        since = self._wait_since
+        timeouts = self._wait_timeout
+        for key in [k for k in since if k not in waiting]:
+            del since[key]
+            timeouts.pop(key, None)
+        forced = 0
+        for key in sorted(waiting):
+            started = since.setdefault(key, cycle)
+            timeout = timeouts.get(key, float(self._wake_timeout))
+            if cycle - started < timeout:
+                continue
+            self._pending_wakes.add(key)
+            self.stats[self._router_by_id[key].subnet].wake_requests += 1
+            self.forced_wakes += 1
+            forced += 1
+            since[key] = cycle
+            timeouts[key] = min(
+                timeout * self._wake_backoff,
+                float(self._wake_timeout_max),
+            )
+        return forced
 
     # ------------------------------------------------------------------
     # Per-cycle evaluation

@@ -100,6 +100,23 @@ class CongestionMonitor:
             self.regional.update(cycle, lcs)
 
     # ------------------------------------------------------------------
+    def force_lcs(self, subnet: int, node: int, value: bool) -> bool:
+        """Override one published LCS bit, keeping the count coherent.
+
+        Fault-injection hook (:mod:`repro.faults`): stuck-at LCS
+        faults force the latched bit after every :meth:`update`; the
+        latched count must follow so :meth:`lcs_count` and the
+        idle-subnet fast path observe the forced state.  Returns True
+        when the bit actually changed.
+        """
+        row = self.lcs[subnet]
+        if row[node] == value:
+            return False
+        row[node] = value
+        self._latched_count[subnet] += 1 if value else -1
+        return True
+
+    # ------------------------------------------------------------------
     def is_congested(self, node: int, subnet: int) -> bool:
         """Subnet-selection view: LCS(node) OR RCS(region of node)."""
         if self.lcs[subnet][node]:

@@ -88,6 +88,49 @@ class RegionalCongestionNetwork:
             self._rcs[subnet] = new_bits
 
     # ------------------------------------------------------------------
+    def refresh(self, cycle: int, lcs: list[list[bool]]) -> int:
+        """Recompute every latched bit immediately (heartbeat scrub).
+
+        Unlike :meth:`update` this ignores the update-period latch: it
+        is the redundant scrub path of the ``rcs-refresh`` recovery
+        policy (:mod:`repro.faults`), repairing latched bits a fault
+        forced or froze.  Returns the number of bits corrected; each
+        correction counts as an OR-network transition (the scrub
+        drives the same wires).
+        """
+        region_of = self._region_of
+        corrected = 0
+        for subnet in range(self.num_subnets):
+            lcs_row = lcs[subnet]
+            new_bits = [False] * self.num_regions
+            for node, congested in enumerate(lcs_row):
+                if congested:
+                    new_bits[region_of[node]] = True
+            old_bits = self._rcs[subnet]
+            for region in range(self.num_regions):
+                if new_bits[region] != old_bits[region]:
+                    self.transitions += 1
+                    corrected += 1
+            self._rcs[subnet] = new_bits
+        return corrected
+
+    # ------------------------------------------------------------------
+    def force_rcs(self, subnet: int, region: int, value: bool) -> bool:
+        """Override one latched regional bit (fault-injection hook).
+
+        Stuck-at RCS faults re-force the latched bit after every
+        :meth:`update`, modelling a stuck status flip-flop.  Counts as
+        an OR-network transition when the bit actually changes; returns
+        True in that case.
+        """
+        row = self._rcs[subnet]
+        if row[region] == value:
+            return False
+        row[region] = value
+        self.transitions += 1
+        return True
+
+    # ------------------------------------------------------------------
     def rcs(self, subnet: int, node: int) -> bool:
         """Latched regional congestion bit visible at ``node``."""
         return self._rcs[subnet][self._region_of[node]]

@@ -10,6 +10,7 @@ Usage::
     catnap-experiments fig06 --check                 # invariant-checked
     catnap-experiments fig06 --telemetry             # trace + time series
     catnap-experiments fig06 --perf                  # phase profile
+    catnap-experiments fig06 --faults rate=0.001     # fault injection
     catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
@@ -181,6 +182,19 @@ class _TallyObserver(runner.SweepObserver):
         for observer in self.extra:
             observer.point_finished(index, spec, rows, elapsed, cached)
 
+    def point_failed(self, index, spec, error) -> None:
+        # Always loud, even without --progress: a permanently failed
+        # point means missing table rows, which must not pass silently.
+        if self.progress:
+            self.progress.point_failed(index, spec, error)
+        else:
+            print(
+                f"  [{index}] FAILED {spec.describe()}: {error}",
+                file=sys.stderr,
+            )
+        for observer in self.extra:
+            observer.point_failed(index, spec, error)
+
     def sweep_finished(self, stats) -> None:
         self.sim_cycles += stats.sim_cycles
         self.sim_flits += stats.sim_flits
@@ -266,6 +280,14 @@ def main(argv: list[str] | None = None) -> int:
         "cycle-level invariants (see docs/analysis.md)",
     )
     parser.add_argument(
+        "--faults",
+        metavar="SPEC",
+        default=None,
+        help="run with REPRO_FAULTS=SPEC: every simulated fabric "
+        "attaches a deterministic fault-injection engine "
+        "(see docs/faults.md); use '1' for the default schedule",
+    )
+    parser.add_argument(
         "--telemetry",
         action="store_true",
         help="run with REPRO_TELEMETRY=1: every simulated fabric "
@@ -319,6 +341,22 @@ def main(argv: list[str] | None = None) -> int:
         # that only *reads* would also hide a violation inside a
         # cached point — so caching is disabled wholesale.
         os.environ["REPRO_CHECK"] = "1"
+        os.environ["REPRO_NO_CACHE"] = "1"
+    if args.faults is not None:
+        # Validate here so a typo fails fast with a usage error rather
+        # than as one captured failure per sweep point.
+        from repro.faults.spec import parse_fault_spec
+
+        try:
+            parse_fault_spec(args.faults)
+        except ValueError as exc:
+            parser.error(f"--faults: {exc}")
+        # Environment (not a parameter) so forked sweep workers attach
+        # a fault engine to every fabric they construct.  Faulted
+        # results must never poison the cache of healthy runs, and a
+        # cache hit would silently skip injection — caching is
+        # disabled wholesale (mirrors --check).
+        os.environ["REPRO_FAULTS"] = args.faults
         os.environ["REPRO_NO_CACHE"] = "1"
     if args.trace_out is not None:
         os.environ["REPRO_TELEMETRY_DIR"] = str(args.trace_out)

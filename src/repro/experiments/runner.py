@@ -32,10 +32,12 @@ Environment variables (see ``docs/experiments.md``):
 
 from __future__ import annotations
 
+import contextlib
 import hashlib
 import json
 import multiprocessing
 import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass, field, replace
 from pathlib import Path
@@ -202,6 +204,35 @@ class PointSpec:
         )
 
     @classmethod
+    def fault(
+        cls,
+        config: NocConfig,
+        pattern: str,
+        load: float,
+        phases: SimulationPhases,
+        faults: str,
+        seed: int = DEFAULT_SEED,
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        **label,
+    ) -> "PointSpec":
+        """Fault-injected synthetic point (one row; :mod:`repro.faults`).
+
+        ``faults`` is a ``REPRO_FAULTS``-grammar spec string; it is part
+        of ``params`` and therefore of the cache identity.
+        """
+        return cls(
+            kind="fault",
+            config=config,
+            pattern=pattern,
+            load=load,
+            phases=phases,
+            seed=seed,
+            packet_bits=packet_bits,
+            params=(("faults", faults),),
+            label=tuple(sorted(label.items())),
+        )
+
+    @classmethod
     def table02(cls) -> "PointSpec":
         """The fitted 32 nm voltage/frequency table (four rows)."""
         return cls(kind="table02")
@@ -332,6 +363,24 @@ def _run_bursty(spec: PointSpec) -> list[dict]:
     return rows
 
 
+def _run_fault(spec: PointSpec) -> list[dict]:
+    # Imported lazily: repro.faults.campaign itself builds PointSpecs
+    # from this module, and fault-free sweeps never need the package.
+    from repro.faults.campaign import run_fault_point
+
+    params = dict(spec.params)
+    row = run_fault_point(
+        spec.config,
+        spec.pattern,
+        spec.load,
+        spec.phases,
+        spec.seed,
+        params["faults"],
+        spec.packet_bits,
+    )
+    return [row]
+
+
 def _run_table02(spec: PointSpec) -> list[dict]:
     return [
         {
@@ -350,6 +399,7 @@ _EXECUTORS = {
     "application": _run_application,
     "power": _run_power,
     "bursty": _run_bursty,
+    "fault": _run_fault,
     "table02": _run_table02,
 }
 
@@ -373,13 +423,25 @@ def _execute_indexed(item: tuple[int, PointSpec]):
     :class:`SweepStats`) and the simulated work the point performed —
     a ``(cycles, flits)`` delta from the per-point work meter, so a
     forked pool can ship worker-side counts back to the parent.
+
+    Exceptions are captured rather than propagated (the final ``error``
+    element; ``None`` on success): letting one bad point unwind
+    ``imap_unordered`` would discard every other worker's finished
+    results, so the parent decides — it retries failed points once
+    serially and surfaces permanent failures through
+    :attr:`SweepStats.failed_points`.
     """
     index, spec = item
     meters.begin_point()
     started = time.perf_counter()
-    rows = execute_point(spec)
+    error: str | None = None
+    rows: list[dict] = []
+    try:
+        rows = execute_point(spec)
+    except Exception as exc:
+        error = f"{type(exc).__name__}: {exc}"
     elapsed = time.perf_counter() - started
-    return index, rows, elapsed, os.getpid(), meters.drain_point()
+    return index, rows, elapsed, os.getpid(), meters.drain_point(), error
 
 
 # -- on-disk cache -----------------------------------------------------
@@ -408,28 +470,50 @@ class SweepCache:
         except (OSError, ValueError):
             return None
         if (
-            payload.get("schema") != CACHE_SCHEMA_VERSION
+            not isinstance(payload, dict)
+            or payload.get("schema") != CACHE_SCHEMA_VERSION
             or payload.get("spec") != spec.key()
         ):
             return None
-        return payload["rows"]
+        rows = payload.get("rows")
+        return rows if isinstance(rows, list) else None
 
     def put(self, spec: PointSpec, rows: list[dict]) -> None:
-        """Persist rows atomically (write-then-rename)."""
+        """Persist rows crash-safely.
+
+        The payload goes to an exclusively-created temp file in the
+        cache directory, is fsynced, and lands under its final name via
+        ``os.replace`` — so a reader can only ever observe the complete
+        entry or none at all, concurrent writers (parallel sweeps
+        sharing a cache) cannot clobber each other's temp files, and a
+        crash mid-write leaves no half-written ``.json`` behind (the
+        orphaned temp file is cleaned up on the error path and is
+        invisible to :meth:`get`/:meth:`clear`, which only consider
+        ``*.json``).
+        """
         self.root.mkdir(parents=True, exist_ok=True)
         path = self._path(spec)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(
-            json.dumps(
-                {
-                    "schema": CACHE_SCHEMA_VERSION,
-                    "spec": spec.key(),
-                    "rows": rows,
-                },
-                sort_keys=True,
-            )
+        payload = json.dumps(
+            {
+                "schema": CACHE_SCHEMA_VERSION,
+                "spec": spec.key(),
+                "rows": rows,
+            },
+            sort_keys=True,
         )
-        tmp.replace(path)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(payload)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp_name, path)
+        except BaseException:
+            with contextlib.suppress(OSError):
+                os.unlink(tmp_name)
+            raise
 
     def clear(self) -> int:
         """Delete every cached point; return the number removed."""
@@ -477,6 +561,11 @@ class SweepStats:
     ``exec_wall_seconds`` is the wall-clock of the execution section
     alone, so ``sum(busy) / (exec_wall * workers)`` is the pool's
     utilization.
+
+    ``failed_points`` lists ``(index, error)`` for points that failed
+    even after the serial retry; their rows are missing from the sweep
+    result.  ``retried_points`` counts points that failed once and
+    succeeded on retry (their rows are present and correct).
     """
 
     points: int = 0
@@ -489,6 +578,8 @@ class SweepStats:
     workers: int = 0
     exec_wall_seconds: float = 0.0
     worker_busy_seconds: dict[int, float] = field(default_factory=dict)
+    failed_points: list[tuple[int, str]] = field(default_factory=list)
+    retried_points: int = 0
 
     def worker_utilization(self) -> float:
         """Busy fraction of the worker pool over the execution section."""
@@ -519,6 +610,11 @@ class SweepObserver:
     ) -> None:
         pass
 
+    def point_failed(
+        self, index: int, spec: PointSpec, error: str
+    ) -> None:
+        """A point failed both its first run and the serial retry."""
+
     def sweep_finished(self, stats: SweepStats) -> None:
         pass
 
@@ -545,11 +641,21 @@ class ProgressObserver(SweepObserver):
             file=self.stream,
         )
 
+    def point_failed(self, index, spec, error) -> None:
+        self._done += 1
+        print(
+            f"  [{self._done}/{self._total}] {spec.describe()} "
+            f"FAILED: {error}",
+            file=self.stream,
+        )
+
     def sweep_finished(self, stats: SweepStats) -> None:
         line = (
             f"  sweep: {stats.points} points, {stats.cache_hits} cached, "
             f"{stats.cache_misses} simulated in {stats.wall_seconds:.2f}s"
         )
+        if stats.failed_points:
+            line += f"; {len(stats.failed_points)} FAILED"
         from repro.perf.meters import throughput_suffix
 
         rates = throughput_suffix(
@@ -601,6 +707,12 @@ def run_sweep(
     defaults to :func:`default_cache` (pass ``None`` to force off);
     ``observer`` defaults to the one installed with
     :func:`set_default_observer`.
+
+    A point that raises is retried once serially in the parent; if the
+    retry also fails, the sweep continues without its rows and the
+    failure is surfaced through :attr:`SweepStats.failed_points` and
+    the observer's ``point_failed`` hook (so one bad point cannot
+    discard an hour of finished work).
     """
     specs = list(specs)
     if observer is None:
@@ -652,20 +764,49 @@ def run_sweep(
             cache.put(specs[index], rows)
         observer.point_finished(index, specs[index], rows, elapsed, False)
 
+    def settle(
+        index: int,
+        rows: list[dict],
+        elapsed: float,
+        pid: int,
+        work: tuple[int, int],
+        error: str | None,
+        from_worker: bool,
+    ) -> None:
+        """Record one executed point, retrying a failure once serially.
+
+        The retry runs in the parent process (transient worker-side
+        conditions — a dying fork, an fd limit — don't reproduce
+        there); a second failure is permanent and lands in
+        ``stats.failed_points`` instead of raising, so the rest of the
+        sweep still completes and returns its rows.
+        """
+        if error is None:
+            record(index, rows, elapsed, pid, work, from_worker)
+            return
+        index, rows, elapsed, pid, work, error = _execute_indexed(
+            (index, specs[index])
+        )
+        if error is None:
+            stats.retried_points += 1
+            record(index, rows, elapsed, pid, work, False)
+            return
+        stats.failed_points.append((index, error))
+        observer.point_failed(index, specs[index], error)
+
     if pending:
         workers = min(jobs, len(pending))
         stats.workers = workers
         exec_started = time.perf_counter()
         if workers > 1:
             with _pool_context().Pool(workers) as pool:
-                for index, rows, elapsed, pid, work in pool.imap_unordered(
+                for result in pool.imap_unordered(
                     _execute_indexed, pending
                 ):
-                    record(index, rows, elapsed, pid, work, True)
+                    settle(*result, True)
         else:
             for item in pending:
-                index, rows, elapsed, pid, work = _execute_indexed(item)
-                record(index, rows, elapsed, pid, work, False)
+                settle(*_execute_indexed(item), False)
         stats.exec_wall_seconds = time.perf_counter() - exec_started
 
     stats.wall_seconds = time.perf_counter() - started
@@ -674,7 +815,8 @@ def run_sweep(
     out: list[dict] = []
     for index, spec in enumerate(specs):
         label = dict(spec.label)
-        for row in rows_by_index[index]:
+        # Permanently failed points (stats.failed_points) have no rows.
+        for row in rows_by_index.get(index, ()):
             out.append({**row, **label} if label else dict(row))
     return out
 

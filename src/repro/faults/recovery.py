@@ -1,0 +1,92 @@
+"""Recovery policies: paper-plausible countermeasures for fault classes.
+
+Each mechanism lives in the layer it protects — only the *scheduling*
+is here, driven once per cycle from the fault engine's end-of-cycle
+hook (so an engine-less fabric never pays for any of it):
+
+``wakeup-timeout``
+    :meth:`repro.core.gating.PowerGatingController.wake_on_timeout` —
+    a watchdog that force-wakes a sleeping router once traffic has
+    demonstrably waited on it for ``wakeup_timeout`` cycles, with
+    per-router exponential backoff.  Covers dropped look-ahead wakeups
+    and stuck-asleep routers via a redundant wake path that bypasses
+    the (faulty) request wire.
+``credit-resync``
+    :meth:`repro.noc.network.SubnetNetwork.resync_credits` — every
+    ``credit_resync_period`` cycles, recompute every upstream credit
+    counter from ground truth (capacity − downstream occupancy −
+    in-flight), the classic credit-resynchronization handshake.  The
+    engine additionally resynchronizes the NI injection credits it can
+    see, repairing leaks from dropped flits on injection links.
+``rcs-refresh``
+    :meth:`repro.core.regional.RegionalCongestionNetwork.refresh` — a
+    heartbeat scrub that recomputes the OR-tree output regardless of
+    the update-period latch, bounding the staleness of a stuck RCS bit
+    to ``rcs_refresh_period`` instead of the whole fault window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.faults.spec import RECOVERY_NAMES
+
+__all__ = ["RecoveryConfig"]
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """Tunables of the three recovery mechanisms.
+
+    ``enabled`` holds the mechanism names switched on for this
+    campaign (a subset of :data:`repro.faults.spec.RECOVERY_NAMES`);
+    everything else is a period or backoff parameter.
+    """
+
+    enabled: tuple[str, ...] = ()
+    #: Cycles a sleeping router may keep traffic waiting before the
+    #: gating watchdog force-wakes it.
+    wakeup_timeout: int = 32
+    #: Multiplier applied to a router's timeout after each forced wake.
+    wakeup_backoff: float = 2.0
+    #: Upper bound the backoff saturates at.
+    wakeup_timeout_max: int = 256
+    #: Period of the credit-resynchronization sweep.
+    credit_resync_period: int = 64
+    #: Period of the RCS heartbeat scrub.
+    rcs_refresh_period: int = 24
+
+    def __post_init__(self) -> None:
+        unknown = [n for n in self.enabled if n not in RECOVERY_NAMES]
+        if unknown:
+            raise ValueError(
+                f"unknown recovery mechanism(s) {unknown}; "
+                f"choose from {list(RECOVERY_NAMES)}"
+            )
+        if self.wakeup_timeout < 1:
+            raise ValueError("wakeup_timeout must be >= 1")
+        if self.wakeup_backoff < 1.0:
+            raise ValueError("wakeup_backoff must be >= 1.0")
+        if self.wakeup_timeout_max < self.wakeup_timeout:
+            raise ValueError("wakeup_timeout_max must be >= wakeup_timeout")
+        if self.credit_resync_period < 1:
+            raise ValueError("credit_resync_period must be >= 1")
+        if self.rcs_refresh_period < 1:
+            raise ValueError("rcs_refresh_period must be >= 1")
+
+    @property
+    def wakeup_timeout_enabled(self) -> bool:
+        return "wakeup-timeout" in self.enabled
+
+    @property
+    def credit_resync_enabled(self) -> bool:
+        return "credit-resync" in self.enabled
+
+    @property
+    def rcs_refresh_enabled(self) -> bool:
+        return "rcs-refresh" in self.enabled
+
+    @classmethod
+    def from_spec(cls, spec) -> "RecoveryConfig":
+        """Recovery configuration implied by a :class:`FaultSpec`."""
+        return cls(enabled=tuple(spec.recover))

@@ -127,6 +127,16 @@ class MultiNocFabric:
             from repro.perf.profiler import PhaseProfiler
 
             self.perf = PhaseProfiler.from_env(self).attach()
+        # Fault injection (repro.faults): attached after perf (so the
+        # engine wraps the phased step) and before the checker and
+        # telemetry (so the checker reconciles post-fault truth and
+        # telemetry observes injected behaviour).
+        self.faults = None
+        faults = os.environ.get("REPRO_FAULTS", "")
+        if faults and faults != "0":
+            from repro.faults.engine import FaultEngine
+
+            self.faults = FaultEngine.from_env(self).attach()
         # Runtime invariant checking (repro.analysis.invariants): the
         # checker shadows ``step`` on this instance only, so unchecked
         # fabrics keep the unhooked fast path with zero overhead.

@@ -188,6 +188,47 @@ class SubnetNetwork:
         self.counters.flit_cycles += self.flits_in_network
 
     # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def resync_credits(self) -> int:
+        """Recompute every upstream credit counter from ground truth.
+
+        Credit-resynchronization recovery (:mod:`repro.faults`): for a
+        router-to-router link the correct credit count is the
+        downstream VC capacity minus its buffer occupancy minus the
+        flits in flight on the link.  Returns the total absolute
+        correction applied (0 when every counter was already
+        consistent — the steady state without faults).
+        """
+        in_flight: dict[tuple[int, int, int], int] = {}
+        for router, in_port, vc, _flit in self.in_flight():
+            key = (id(router), in_port, vc)
+            in_flight[key] = in_flight.get(key, 0) + 1
+        capacity = self.config.flits_per_vc
+        vcs = self.config.vcs_per_port
+        corrected = 0
+        for router in self.routers:
+            for out_port in range(Port.COUNT):
+                if out_port == Port.LOCAL:
+                    continue
+                downstream = router.neighbor_router[out_port]
+                if downstream is None:
+                    continue
+                in_port = Port.OPPOSITE[out_port]
+                port = downstream.ports[in_port]
+                credits = router.credits[out_port]
+                for vc in range(vcs):
+                    truth = (
+                        capacity
+                        - port.vcs[vc].occupancy
+                        - in_flight.get((id(downstream), in_port, vc), 0)
+                    )
+                    if credits[vc] != truth:
+                        corrected += abs(credits[vc] - truth)
+                        credits[vc] = truth
+        return corrected
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def in_flight(self):

@@ -415,7 +415,21 @@ class TelemetryHub:
         for ni in fabric.nis:
             for subnet, count in enumerate(ni.injected_per_subnet):
                 injected[subnet] += count
+        engine = getattr(fabric, "faults", None)
+        faults = (
+            {
+                **engine.outcome_counts(),
+                "injected_by_subnet": list(engine.injected_by_subnet),
+                "dropped_flits": sum(engine.dropped_flits),
+                "watchdog_trips": engine.watchdog_trips,
+                "forced_wakes": engine.forced_wakes,
+                "event_digest": engine.event_digest(),
+            }
+            if engine is not None
+            else None
+        )
         return {
+            "faults": faults,
             "config": fabric.config.name,
             "seed": fabric.seed,
             "cycles": fabric.cycle,
@@ -451,6 +465,7 @@ class TelemetryHub:
         final = fabric.cycle
         intervals = list(self.power_intervals)
         intervals.extend(self._open_power_intervals(final))
+        engine = getattr(fabric, "faults", None)
         return build_chrome_trace(
             config_name=fabric.config.name,
             cycles=final,
@@ -460,6 +475,12 @@ class TelemetryHub:
             packets=self.packet_records,
             rcs_events=self.rcs_events,
             truncated_packets=self.truncated_packets,
+            fault_events=(
+                engine.fault_instants if engine is not None else ()
+            ),
+            recovery_events=(
+                engine.recovery_instants if engine is not None else ()
+            ),
         )
 
     def ascii_summary(self) -> str:

@@ -40,6 +40,7 @@ class _SubnetSeries:
     __slots__ = (
         "active", "sleep", "wakeup",
         "max_buffer_occupancy", "lcs_nodes", "rcs_regions",
+        "faults_injected",
     )
 
     def __init__(self) -> None:
@@ -49,6 +50,9 @@ class _SubnetSeries:
         self.max_buffer_occupancy: list[int] = []
         self.lcs_nodes: list[int] = []
         self.rcs_regions: list[int] = []
+        # Cumulative injected-fault count per tick; all-zero (and
+        # omitted from ascii output) without a fault engine.
+        self.faults_injected: list[int] = []
 
     def to_dict(self) -> dict:
         return {
@@ -58,6 +62,7 @@ class _SubnetSeries:
             "max_buffer_occupancy": self.max_buffer_occupancy,
             "lcs_nodes": self.lcs_nodes,
             "rcs_regions": self.rcs_regions,
+            "faults_injected": self.faults_injected,
         }
 
 
@@ -89,6 +94,7 @@ class TimeSeriesSampler:
         self.ticks.append(cycle)
         regional = fabric.monitor.regional
         use_regional = fabric.monitor.use_regional
+        engine = getattr(fabric, "faults", None)
         for subnet_idx, network in enumerate(fabric.subnets):
             series = self.subnets[subnet_idx]
             peaks = self.peak_occupancy[subnet_idx]
@@ -118,6 +124,11 @@ class TimeSeriesSampler:
                     for region in range(regional.num_regions)
                 )
                 if use_regional
+                else 0
+            )
+            series.faults_injected.append(
+                engine.injected_by_subnet[subnet_idx]
+                if engine is not None
                 else 0
             )
         self.injection_queue_flits.append(
@@ -164,6 +175,11 @@ class TimeSeriesSampler:
             lines.append(
                 f"  RCS regions     {sparkline(series.rcs_regions)}"
             )
+            if any(series.faults_injected):
+                lines.append(
+                    f"  faults injected "
+                    f"{sparkline(series.faults_injected)}"
+                )
             lines.append(
                 heatmap(
                     self._mesh_grid(self.peak_occupancy[subnet_idx]),

@@ -56,6 +56,8 @@ def build_chrome_trace(
     packets: Iterable[Mapping[str, int]],
     rcs_events: Iterable[tuple[int, int, int, bool]],
     truncated_packets: int = 0,
+    fault_events: Iterable[tuple[int, int, str]] = (),
+    recovery_events: Iterable[tuple[int, int, str]] = (),
 ) -> dict:
     """Assemble a Perfetto-loadable trace-event document.
 
@@ -80,6 +82,12 @@ def build_chrome_trace(
     truncated_packets:
         Count of packet records dropped by the hub's memory cap
         (recorded in ``otherData`` so a partial trace is detectable).
+    fault_events, recovery_events:
+        ``(cycle, subnet, name)`` instants from an attached
+        :class:`repro.faults.engine.FaultEngine` — armed fault events
+        and recovery-mechanism actions, rendered as process-scoped
+        instants in categories ``"fault"`` and ``"recovery"`` so they
+        line up with the power slices they perturb.
     """
     events: list[dict] = []
     for subnet in range(num_subnets):
@@ -145,6 +153,21 @@ def build_chrome_trace(
                 "args": {"region": region, "asserted": int(asserted)},
             }
         )
+    for category, instants in (
+        ("fault", fault_events),
+        ("recovery", recovery_events),
+    ):
+        for cycle, subnet, name in instants:
+            events.append(
+                {
+                    "ph": "i",
+                    "cat": category,
+                    "name": name,
+                    "pid": subnet if subnet >= 0 else 0,
+                    "ts": cycle,
+                    "s": "p",
+                }
+            )
     return {
         "traceEvents": events,
         "displayTimeUnit": "ns",

@@ -129,3 +129,53 @@ class TestTelemetryFlags:
         # byte-identical) and the result object is not mutated.
         assert render_experiment(result) == plain
         assert result.columns == ["load", "latency"]
+
+
+class TestFaultFlags:
+    def test_bad_spec_is_a_usage_error(self, capsys):
+        # Validation happens at argument-parsing time: a typo must
+        # exit with argparse's usage status, not as one captured
+        # failure per sweep point (which would render an empty table
+        # and exit 0).
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig06", "--faults", "rate=banana"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--faults" in err
+
+    def test_good_spec_sets_env_and_disables_cache(self, monkeypatch):
+        import os
+
+        # Same restore-to-absent dance as the telemetry-flag test:
+        # main() writes os.environ for forked sweep workers, and the
+        # test must not leak that into later tests.
+        for name in ("REPRO_FAULTS", "REPRO_NO_CACHE"):
+            monkeypatch.setenv(name, "placeholder")
+            monkeypatch.delenv(name)
+        assert main(["fig14", "--scale", "0.02", "--faults", "rate=0.001;seed=3"]) == 0
+        assert os.environ["REPRO_FAULTS"] == "rate=0.001;seed=3"
+        # Faulted rows must never enter (or be served from) the
+        # healthy-result cache.
+        assert os.environ["REPRO_NO_CACHE"] == "1"
+
+    def test_point_failed_is_loud_without_progress(self, capsys):
+        from repro.experiments.cli import _TallyObserver
+        from repro.experiments.common import synthetic_phases
+        from repro.experiments.runner import PointSpec
+        from repro.noc.config import NocConfig
+
+        spec = PointSpec.synthetic(
+            NocConfig.mesh_64_core(), "uniform", 0.1,
+            synthetic_phases(0.04), 7,
+        )
+        recorded = []
+
+        class _Extra:
+            def point_failed(self, index, spec, error):
+                recorded.append((index, error))
+
+        tally = _TallyObserver(progress=False, extra=[_Extra()])
+        tally.point_failed(3, spec, "ValueError: boom")
+        err = capsys.readouterr().err
+        assert "FAILED" in err and "boom" in err
+        assert recorded == [(3, "ValueError: boom")]

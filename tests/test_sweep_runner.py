@@ -39,6 +39,7 @@ class RecordingObserver(SweepObserver):
     def __init__(self):
         self.started_with = None
         self.finished = []
+        self.failures = []
         self.stats = None
 
     def sweep_started(self, total):
@@ -46,6 +47,9 @@ class RecordingObserver(SweepObserver):
 
     def point_finished(self, index, spec, rows, elapsed, cached):
         self.finished.append((index, cached))
+
+    def point_failed(self, index, spec, error):
+        self.failures.append((index, error))
 
     def sweep_finished(self, stats):
         self.stats = stats
@@ -154,6 +158,116 @@ class TestCache:
         warm_s = time.perf_counter() - started
         assert cold.rows == warm.rows
         assert warm_s * 5 <= cold_s, (cold_s, warm_s)
+
+
+class TestFailureHandling:
+    """Per-point crash capture: retry once serially, then surface."""
+
+    def bad_spec(self):
+        # Fails identically in workers and in the parent retry: the
+        # executor raises on the unknown traffic pattern.
+        config = NocConfig.multi_noc(2)
+        return PointSpec.synthetic(config, "no-such-pattern", 0.1, TINY, 7)
+
+    def test_transient_failure_is_retried_once(self, monkeypatch):
+        from repro.experiments import runner as runner_mod
+
+        real = runner_mod._EXECUTORS["synthetic"]
+        calls = {"n": 0}
+
+        def flaky(spec):
+            calls["n"] += 1
+            if calls["n"] == 1:
+                raise RuntimeError("transient worker crash")
+            return real(spec)
+
+        monkeypatch.setitem(runner_mod._EXECUTORS, "synthetic", flaky)
+        obs = RecordingObserver()
+        rows = run_sweep(
+            tiny_specs(loads=(0.02,)), jobs=1, cache=None, observer=obs
+        )
+        assert rows
+        assert obs.stats.retried_points == 1
+        assert obs.stats.failed_points == []
+        assert obs.failures == []
+
+    def test_permanent_failure_is_surfaced_not_raised(self):
+        specs = tiny_specs(loads=(0.02, 0.10)) + [self.bad_spec()]
+        obs = RecordingObserver()
+        rows = run_sweep(specs, jobs=1, cache=None, observer=obs)
+        assert len(obs.stats.failed_points) == 1
+        index, error = obs.stats.failed_points[0]
+        assert index == 2
+        assert "ValueError" in error and "no-such-pattern" in error
+        assert obs.failures == [(2, error)]
+        # The healthy points still produced their rows.
+        assert rows == run_sweep(
+            tiny_specs(loads=(0.02, 0.10)), jobs=1, cache=None
+        )
+
+    def test_pool_failure_does_not_poison_other_points(self):
+        specs = [self.bad_spec()] + tiny_specs(loads=(0.02, 0.10))
+        obs = RecordingObserver()
+        rows = run_sweep(specs, jobs=3, cache=None, observer=obs)
+        assert [index for index, _ in obs.stats.failed_points] == [0]
+        assert rows == run_sweep(
+            tiny_specs(loads=(0.02, 0.10)), jobs=1, cache=None
+        )
+
+    def test_failed_points_never_enter_the_cache(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep([self.bad_spec()], jobs=1, cache=cache, observer=None)
+        assert list(tmp_path.glob("*.json")) == []
+
+
+class TestCacheCrashSafety:
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        run_sweep(tiny_specs(loads=(0.02,)), jobs=1, cache=cache)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_truncated_file_reads_as_miss(self, tmp_path):
+        spec = tiny_specs()[0]
+        cache = SweepCache(tmp_path)
+        run_sweep([spec], jobs=1, cache=cache)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text(path.read_text()[: path.stat().st_size // 2])
+        assert cache.get(spec) is None
+
+    def test_non_dict_payload_reads_as_miss(self, tmp_path):
+        spec = tiny_specs()[0]
+        cache = SweepCache(tmp_path)
+        cache.put(spec, [{"latency": 1.0}])
+        cache._path(spec).write_text("[1, 2, 3]")
+        assert cache.get(spec) is None
+
+    def test_failed_replace_cleans_up_temp_file(
+        self, tmp_path, monkeypatch
+    ):
+        import os
+
+        spec = tiny_specs()[0]
+        cache = SweepCache(tmp_path)
+
+        def boom(src, dst):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", boom)
+        with pytest.raises(OSError, match="disk full"):
+            cache.put(spec, [{"latency": 1.0}])
+        monkeypatch.undo()
+        assert list(tmp_path.iterdir()) == []
+        assert cache.get(spec) is None
+
+    def test_orphan_temp_files_are_invisible(self, tmp_path):
+        spec = tiny_specs()[0]
+        cache = SweepCache(tmp_path)
+        cache.put(spec, [{"latency": 1.0}])
+        (tmp_path / "orphanxyz.tmp").write_text("half-written")
+        assert cache.get(spec) == [{"latency": 1.0}]
+        assert cache.clear() == 1
+        assert (tmp_path / "orphanxyz.tmp").exists()
 
 
 class TestObserver:
