@@ -66,6 +66,13 @@ class CongestionMonitor:
         # (as long as no latch is still holding a congested status).
         self._idle_skippable = cc.metric in ("bfm", "bfa")
         self._latched_count = [0] * self.num_subnets
+        # BFM (the paper's chosen metric) is evaluated for every busy
+        # (node, subnet) pair every cycle; update() inlines its metric
+        # and latch bodies when this threshold is set, because the two
+        # method calls per pair dominate the monitor's cost.
+        self._bfm_threshold = (
+            cc.bfm_threshold_flits if cc.metric == "bfm" else None
+        )
 
     # ------------------------------------------------------------------
     def update(
@@ -89,12 +96,42 @@ class CongestionMonitor:
             routers = network.routers
             lcs_row = lcs[subnet_idx]
             count = 0
-            for node in range(self.num_nodes):
-                raw = metrics[node].evaluate(cycle, routers[node], nis[node])
-                state = latches[node].update(cycle, raw)
-                lcs_row[node] = state
-                if state:
-                    count += 1
+            bfm = self._bfm_threshold
+            if bfm is not None:
+                # BufferMaxMetric.evaluate + HysteresisLatch.update,
+                # inlined (identical logic, no per-node calls).
+                for node, router in enumerate(routers):
+                    latch = latches[node]
+                    congested = router.buffered_flits >= bfm
+                    if congested:
+                        # Router.max_port_occupancy, inlined: polled
+                        # for every busy (node, subnet) pair every
+                        # cycle, where the call frame dominates.
+                        best = 0
+                        for port in router.ports:
+                            occupancy = port.occupancy
+                            if occupancy > best:
+                                best = occupancy
+                        congested = best >= bfm
+                    if congested:
+                        latch.state = state = True
+                        latch._held_until = cycle + latch.hold_cycles
+                    else:
+                        state = latch.state
+                        if state and cycle >= latch._held_until:
+                            latch.state = state = False
+                    lcs_row[node] = state
+                    if state:
+                        count += 1
+            else:
+                for node in range(self.num_nodes):
+                    raw = metrics[node].evaluate(
+                        cycle, routers[node], nis[node]
+                    )
+                    state = latches[node].update(cycle, raw)
+                    lcs_row[node] = state
+                    if state:
+                        count += 1
             latched_count[subnet_idx] = count
         if self.use_regional:
             self.regional.update(cycle, lcs)

@@ -11,6 +11,7 @@ Usage::
     catnap-experiments fig06 --telemetry             # trace + time series
     catnap-experiments fig06 --perf                  # phase profile
     catnap-experiments fig06 --faults rate=0.001     # fault injection
+    catnap-experiments fig06 --backend skip          # skip-ahead kernel
     catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
@@ -316,6 +317,14 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for perf profile artifacts (implies --perf)",
     )
     parser.add_argument(
+        "--backend",
+        metavar="NAME",
+        default=None,
+        help="run with REPRO_BACKEND=NAME: simulation kernel for every "
+        "fabric — 'dense' steps each cycle, 'skip' jumps idle spans "
+        "(byte-identical results; see docs/architecture.md)",
+    )
+    parser.add_argument(
         "--percentiles",
         action="store_true",
         help="append latency p50/p95/p99 columns to tables that "
@@ -358,6 +367,25 @@ def main(argv: list[str] | None = None) -> int:
         # disabled wholesale (mirrors --check).
         os.environ["REPRO_FAULTS"] = args.faults
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.backend is not None:
+        # Validate here so a typo fails fast with a usage error rather
+        # than as one captured failure per sweep point (mirrors
+        # --faults).
+        from repro.noc.backend import DEFAULT_BACKEND, backend_names
+
+        if args.backend not in backend_names():
+            parser.error(
+                f"--backend: unknown backend {args.backend!r}; "
+                f"choose from {', '.join(backend_names())}"
+            )
+        # Environment (not a parameter) so forked sweep workers build
+        # every fabric on the selected kernel.  Backends are
+        # result-equivalent by contract, but a cache hit would silently
+        # skip exercising the requested kernel — so any non-default
+        # choice disables caching wholesale (mirrors --check).
+        os.environ["REPRO_BACKEND"] = args.backend
+        if args.backend != DEFAULT_BACKEND:
+            os.environ["REPRO_NO_CACHE"] = "1"
     if args.trace_out is not None:
         os.environ["REPRO_TELEMETRY_DIR"] = str(args.trace_out)
         args.telemetry = True

@@ -26,6 +26,12 @@ _VC_MAP_4 = {
 }
 
 
+#: Memo for :func:`vc_candidates` — it sits on the per-flit allocation
+#: path of every router, and its result is a pure function of its two
+#: small-integer arguments.
+_VC_CANDIDATES_MEMO: dict[tuple[int, int], tuple[int, ...]] = {}
+
+
 def vc_candidates(message_class: int, vcs_per_port: int) -> tuple[int, ...]:
     """Virtual channels ``message_class`` may use on a port.
 
@@ -33,11 +39,18 @@ def vc_candidates(message_class: int, vcs_per_port: int) -> tuple[int, ...]:
     sets; for other VC counts the classes are spread modulo the VC count
     (synthetic traffic always gets every VC).
     """
+    key = (message_class, vcs_per_port)
+    cached = _VC_CANDIDATES_MEMO.get(key)
+    if cached is not None:
+        return cached
     if message_class == MessageClass.SYNTHETIC:
-        return tuple(range(vcs_per_port))
-    if vcs_per_port == 4:
-        return _VC_MAP_4[message_class]
-    return (message_class % vcs_per_port,)
+        result = tuple(range(vcs_per_port))
+    elif vcs_per_port == 4:
+        result = _VC_MAP_4[message_class]
+    else:
+        result = (message_class % vcs_per_port,)
+    _VC_CANDIDATES_MEMO[key] = result
+    return result
 
 
 class VirtualChannel:

@@ -34,7 +34,7 @@ class MessageClass:
     ALL = (REQUEST, FORWARD, RESPONSE, SYNTHETIC)
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One network message.
 
@@ -91,7 +91,7 @@ class Packet:
         return self.received_cycle - self.injected_cycle
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit of a packet.
 

@@ -37,6 +37,22 @@ if TYPE_CHECKING:
 
 __all__ = ["NetworkInterface"]
 
+#: _rr_orders(v)[start] == ((start) % v, (start+1) % v, ...): the VC
+#: visit order of the streaming round-robin, precomputed because the
+#: modulo arithmetic shows up in the per-cycle injection path.
+_RR_ORDERS: dict[int, tuple[tuple[int, ...], ...]] = {}
+
+
+def _rr_orders(vcs: int) -> tuple[tuple[int, ...], ...]:
+    orders = _RR_ORDERS.get(vcs)
+    if orders is None:
+        orders = tuple(
+            tuple((start + k) % vcs for k in range(vcs))
+            for start in range(vcs)
+        )
+        _RR_ORDERS[vcs] = orders
+    return orders
+
 
 class _StreamSlot:
     """A packet mid-injection on one (subnet, VC) pair."""
@@ -71,10 +87,14 @@ class NetworkInterface:
             [None] * vcs for _ in range(config.num_subnets)
         ]
         self._active_slots = 0
+        # _subnet_active[subnet]: active slots on that subnet, so the
+        # per-cycle streaming loop touches only subnets with traffic.
+        self._subnet_active = [0] * config.num_subnets
         self._credits = [
             [config.flits_per_vc] * vcs for _ in range(config.num_subnets)
         ]
         self._stream_rr = [0] * config.num_subnets
+        self._stream_orders = _rr_orders(vcs)
         for subnet, network in enumerate(subnets):
             network.routers[node].credit_sinks[Port.LOCAL] = (
                 self._make_credit_sink(subnet)
@@ -158,8 +178,11 @@ class NetworkInterface:
             return
         sent = 0
         if self._active_slots:
-            for subnet in range(len(self._slots)):
-                if self._stream_subnet(subnet, cycle):
+            active = self._subnet_active
+            for subnet in range(len(active)):
+                # A subnet with no active slot is a no-op in
+                # _stream_subnet; skipping the call is identical.
+                if active[subnet] and self._stream_subnet(subnet, cycle):
                     sent |= 1 << subnet
         # Assign after streaming so a VC whose tail left this cycle can
         # take the next packet back-to-back — but never two flits into
@@ -204,6 +227,7 @@ class NetworkInterface:
         ]
         slots[vc] = _StreamSlot(packet, flits, vc)
         self._active_slots += 1
+        self._subnet_active[subnet] += 1
         self._assigned_this_cycle += 1
         self._assigned_subnet = subnet
         self.injected_per_subnet[subnet] += 1
@@ -220,10 +244,8 @@ class NetworkInterface:
         router = network.routers[self.node]
         router_asleep = router.power_state != PowerState.ACTIVE
         woke = False
-        start = self._stream_rr[subnet]
         credits = self._credits[subnet]
-        for k in range(vcs):
-            vc = (k + start) % vcs
+        for vc in self._stream_orders[self._stream_rr[subnet]]:
             slot = slots[vc]
             if slot is None:
                 continue
@@ -248,6 +270,7 @@ class NetworkInterface:
             if flit.is_tail:
                 slots[vc] = None
                 self._active_slots -= 1
+                self._subnet_active[subnet] -= 1
             self._stream_rr[subnet] = (vc + 1) % vcs
             return True
         return False

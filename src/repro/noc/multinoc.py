@@ -21,6 +21,7 @@ from typing import Callable
 from repro.core.gating import GatingStats, PowerGatingController
 from repro.core.monitor import CongestionMonitor
 from repro.core.policies import make_policy
+from repro.noc.backend import backend_from_env, make_backend
 from repro.noc.config import NocConfig
 from repro.noc.flit import Packet
 from repro.noc.interface import NetworkInterface
@@ -75,7 +76,12 @@ class FabricReport:
 class MultiNocFabric:
     """A complete multiple network-on-chip instance."""
 
-    def __init__(self, config: NocConfig, seed: int = 1) -> None:
+    def __init__(
+        self,
+        config: NocConfig,
+        seed: int = 1,
+        backend: str | None = None,
+    ) -> None:
         self.config = config
         self.seed = seed
         self.mesh = ConcentratedMesh(
@@ -117,6 +123,11 @@ class MultiNocFabric:
             for network in self.subnets:
                 for router in network.routers:
                     router.track_blocking = True
+        # Time-loop kernel (repro.noc.backend): ``dense`` steps every
+        # cycle; ``skip`` charges idle routers zero Python work.  Both
+        # satisfy the same state-equivalence contract, so the choice
+        # never alters results — only wall-clock.
+        self.backend = make_backend(backend or backend_from_env(), self)
         # Simulator self-profiling (repro.perf): attached FIRST so the
         # invariant checker and telemetry hub below wrap the phased
         # step — their instance shadows capture whatever ``step`` is
@@ -213,9 +224,13 @@ class MultiNocFabric:
         self.cycle = cycle + 1
 
     def run(self, cycles: int) -> None:
-        """Advance the fabric by ``cycles`` clock cycles."""
-        for _ in range(cycles):
-            self.step()
+        """Advance the fabric by ``cycles`` clock cycles.
+
+        Delegates to the configured :class:`~repro.noc.backend.
+        FabricBackend`; :meth:`step` remains the single-cycle reference
+        the dense backend (and every shadow observer) is built on.
+        """
+        self.backend.run(cycles)
 
     # ------------------------------------------------------------------
     # Introspection
@@ -231,13 +246,7 @@ class MultiNocFabric:
         Returns True when the fabric fully drained.  Sources must stop
         offering packets before draining.
         """
-        for _ in range(max_cycles):
-            if self.in_flight_flits == 0 and all(
-                not ni.queue and not ni.active_streams for ni in self.nis
-            ):
-                return True
-            self.step()
-        return False
+        return self.backend.drain(max_cycles)
 
     def subnet_injection_share(self) -> list[float]:
         """Fraction of injected packets carried by each subnet."""

@@ -115,11 +115,9 @@ class Router:
         self._vc_rr = 0
         # Precomputed (in_port, in_bit, in_vc, channel) scan order for
         # the switch allocator; rotated by _rr each cycle for fairness.
-        self._scan = [
-            (p, 1 << p, v, self.ports[p].vcs[v])
-            for p in range(Port.COUNT)
-            for v in range(vcs_per_port)
-        ]
+        # Built lazily on the first step: the skip backend never reads
+        # it, and 40 tuples per router add up at construction time.
+        self._scan: list[tuple] | None = None
         # Route table cached from the routing function (set by the
         # owning network) for flat lookups in _lookahead_route.
         self._route_table: list[int] | None = None
@@ -159,8 +157,18 @@ class Router:
     # Congestion-metric views
     # ------------------------------------------------------------------
     def max_port_occupancy(self) -> int:
-        """BFM input: max flit occupancy over all input ports."""
-        return max(p.occupancy for p in self.ports)
+        """BFM input: max flit occupancy over all input ports.
+
+        Written as a plain loop (not ``max`` over a generator): the BFM
+        congestion metric polls this for every busy (node, subnet) pair
+        every cycle, and the generator frame dominates at that rate.
+        """
+        best = 0
+        for port in self.ports:
+            occupancy = port.occupancy
+            if occupancy > best:
+                best = occupancy
+        return best
 
     def mean_port_occupancy(self) -> float:
         """BFA input: mean flit occupancy over all input ports."""
@@ -179,6 +187,18 @@ class Router:
         """No buffered flits and none in flight toward this router."""
         return self.buffered_flits == 0 and self.expected_arrivals == 0
 
+    def _scan_order(self) -> list[tuple]:
+        """The (in_port, in_bit, in_vc, channel) allocator scan order,
+        built on first use (also read by the perf router mirror)."""
+        scan = self._scan
+        if scan is None:
+            scan = self._scan = [
+                (p, 1 << p, v, self.ports[p].vcs[v])
+                for p in range(Port.COUNT)
+                for v in range(self.vcs_per_port)
+            ]
+        return scan
+
     # ------------------------------------------------------------------
     # Switch allocation + traversal (one cycle)
     # ------------------------------------------------------------------
@@ -196,6 +216,8 @@ class Router:
         if network is None:
             raise RuntimeError("router not attached to a network")
         scan = self._scan
+        if scan is None:
+            scan = self._scan_order()
         total = len(scan)
         offset = self._rr
         self._rr = (offset + 1) % total

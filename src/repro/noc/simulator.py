@@ -56,17 +56,15 @@ def run_open_loop(
     """Run ``source`` over ``fabric`` and return the fabric report.
 
     ``source`` must expose ``step(cycle)`` which offers packets to the
-    fabric for the given cycle.
+    fabric for the given cycle.  Each phase is one span handed to the
+    fabric's :class:`~repro.noc.backend.FabricBackend`, so measurement
+    boundaries always fall on span boundaries — where every backend
+    guarantees byte-identical fabric state.
     """
-    for _ in range(phases.warmup):
-        source.step(fabric.cycle)
-        fabric.step()
+    backend = fabric.backend
+    backend.run(phases.warmup, source)
     fabric.stats.begin_measurement(fabric.cycle)
-    for _ in range(phases.measure):
-        source.step(fabric.cycle)
-        fabric.step()
+    backend.run(phases.measure, source)
     fabric.stats.end_measurement(fabric.cycle)
-    for _ in range(phases.cooldown):
-        source.step(fabric.cycle)
-        fabric.step()
+    backend.run(phases.cooldown, source)
     return fabric.report()

@@ -96,7 +96,7 @@ def profiled_router_step(
     network = router.network
     if network is None:
         raise RuntimeError("router not attached to a network")
-    scan = router._scan
+    scan = router._scan_order()
     total = len(scan)
     offset = router._rr
     router._rr = (offset + 1) % total

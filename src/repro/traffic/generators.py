@@ -11,6 +11,7 @@ from __future__ import annotations
 from bisect import bisect_right
 from collections.abc import Sequence
 
+from repro.noc.backend import NEVER
 from repro.noc.config import SYNTHETIC_PACKET_BITS
 from repro.noc.flit import MessageClass, Packet
 from repro.noc.multinoc import MultiNocFabric
@@ -43,6 +44,17 @@ class SyntheticTrafficSource:
     def current_load(self, cycle: int) -> float:
         """Offered load (packets/node/cycle) active at ``cycle``."""
         return self.load
+
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` at which :meth:`step` may act.
+
+        The skip backend (:mod:`repro.noc.backend`) uses this horizon
+        to jump quiescent spans: at any cycle with zero load, ``step``
+        returns before touching the RNG, so skipping the call entirely
+        is byte-identical.  A constant-load source is either always
+        active or never active.
+        """
+        return cycle if self.load > 0.0 else NEVER
 
     def step(self, cycle: int) -> None:
         """Possibly inject one packet at each node this cycle."""
@@ -101,3 +113,13 @@ class BurstyTrafficSource(SyntheticTrafficSource):
     def current_load(self, cycle: int) -> float:
         index = bisect_right(self._starts, cycle) - 1
         return self._loads[max(index, 0)]
+
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` with a positive scheduled load."""
+        if self.current_load(cycle) > 0.0:
+            return cycle
+        index = bisect_right(self._starts, cycle)
+        for k in range(index, len(self._starts)):
+            if self._loads[k] > 0.0:
+                return self._starts[k]
+        return NEVER

@@ -33,9 +33,13 @@ def small_config(**overrides) -> NocConfig:
     return NocConfig(**defaults)
 
 
-def small_fabric(seed: int = 5, **overrides) -> MultiNocFabric:
+def small_fabric(
+    seed: int = 5, backend: str | None = None, **overrides
+) -> MultiNocFabric:
     """A small fabric ready for end-to-end tests."""
-    return MultiNocFabric(small_config(**overrides), seed=seed)
+    return MultiNocFabric(
+        small_config(**overrides), seed=seed, backend=backend
+    )
 
 
 def gated_config(**overrides) -> NocConfig:

@@ -1,0 +1,43 @@
+"""Docs link checker: no dead relative links in docs/, README, DESIGN.
+
+CI runs this as its own step; it also rides in tier-1 so a page rename
+fails fast locally.  Only repository-relative link targets are
+checked — external URLs and pure in-page anchors are out of scope.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+PAGES = sorted(REPO.glob("docs/*.md")) + [
+    REPO / "README.md",
+    REPO / "DESIGN.md",
+]
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _relative_targets(page: Path) -> list[str]:
+    targets = []
+    for match in _LINK.finditer(page.read_text()):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        targets.append(target.split("#", 1)[0])
+    return targets
+
+
+def test_pages_exist():
+    assert len(PAGES) >= 8  # six docs pages + README + DESIGN
+
+
+def test_no_dead_relative_links():
+    dead = []
+    for page in PAGES:
+        for target in _relative_targets(page):
+            if not (page.parent / target).exists():
+                dead.append(f"{page.relative_to(REPO)} -> {target}")
+    assert not dead, "dead relative links:\n" + "\n".join(dead)

@@ -28,8 +28,8 @@ from repro.noc.router import PowerState
 from repro.noc.topology import Port
 
 
-def checked_fabric(**overrides):
-    fabric = small_fabric(**overrides)
+def checked_fabric(backend=None, **overrides):
+    fabric = small_fabric(backend=backend, **overrides)
     return fabric, InvariantChecker(fabric).attach()
 
 
@@ -166,9 +166,14 @@ class TestGreenRuns:
 # ----------------------------------------------------------------------
 
 
+# Each mutation is parametrized over both simulation kernels: time is
+# advanced through ``fabric.run`` (the backend entry point), so the
+# skip kernel's checker composition must catch exactly what the dense
+# per-cycle path catches.
+@pytest.mark.parametrize("backend", ["dense", "skip"])
 class TestMutations:
-    def test_dropped_credit_is_caught(self):
-        fabric, _checker = checked_fabric()
+    def test_dropped_credit_is_caught(self, backend):
+        fabric, _checker = checked_fabric(backend=backend)
         router = fabric.subnets[0].routers[5]  # interior node
         # A port wired to a real downstream router: edge ports have no
         # credit loop and are (correctly) outside the conservation law.
@@ -179,7 +184,7 @@ class TestMutations:
         )
         router.credits[port][0] -= 1
         with pytest.raises(InvariantViolation) as err:
-            fabric.step()
+            fabric.run(1)
         assert err.value.invariant == "credit-conservation"
         assert "credit was lost, forged, or returned twice" in (
             err.value.details
@@ -187,8 +192,8 @@ class TestMutations:
         assert f"port {Port.NAMES[port]}" in err.value.details
         assert f"{router.node}->" in err.value.details
 
-    def test_forged_credit_is_caught(self):
-        fabric, _checker = checked_fabric()
+    def test_forged_credit_is_caught(self, backend):
+        fabric, _checker = checked_fabric(backend=backend)
         router = fabric.subnets[0].routers[5]
         port = next(
             p
@@ -197,40 +202,42 @@ class TestMutations:
         )
         router.credits[port][0] += 1
         with pytest.raises(InvariantViolation) as err:
-            fabric.step()
+            fabric.run(1)
         assert err.value.invariant == "credit-conservation"
 
-    def test_dropped_injection_credit_is_caught(self):
-        fabric, _checker = checked_fabric()
+    def test_dropped_injection_credit_is_caught(self, backend):
+        fabric, _checker = checked_fabric(backend=backend)
         fabric.nis[3]._credits[0][0] -= 1
         with pytest.raises(InvariantViolation) as err:
-            fabric.step()
+            fabric.run(1)
         assert err.value.invariant == "credit-conservation"
         assert "NI->router at node 3" in err.value.details
 
-    def test_duplicated_flit_is_caught(self):
-        fabric, _checker = checked_fabric()
+    def test_duplicated_flit_is_caught(self, backend):
+        fabric, _checker = checked_fabric(backend=backend)
         fabric.offer(Packet(src=0, dst=3, size_bits=128))
         network = fabric.subnets[0]
         for _ in range(50):
             if any(network._ring):
                 break
-            fabric.step()
+            fabric.run(1)
         slot = next(s for s in network._ring if s)
         slot.append(slot[0])  # the same flit now traverses twice
         with pytest.raises(InvariantViolation) as err:
-            fabric.step()
+            fabric.run(1)
         assert err.value.invariant == "flit-conservation"
         assert "lost or duplicated" in err.value.details
         assert "subnet 0" in err.value.details
 
-    def test_wake_skipped_router_with_buffered_flits_is_caught(self):
-        fabric = MultiNocFabric(gated_config(), seed=9)
+    def test_wake_skipped_router_with_buffered_flits_is_caught(
+        self, backend
+    ):
+        fabric = MultiNocFabric(gated_config(), seed=9, backend=backend)
         checker = InvariantChecker(fabric).attach()
         offer_traffic(fabric, packets=8)
         router = None
         for _ in range(200):
-            fabric.step()
+            fabric.run(1)
             router = next(
                 (
                     r
@@ -249,8 +256,8 @@ class TestMutations:
         assert "a gated router must be drained" in err.value.details
         assert f"node {router.node}" in err.value.details
 
-    def test_flit_in_flight_toward_gated_router_is_caught(self):
-        fabric = MultiNocFabric(gated_config(), seed=9)
+    def test_flit_in_flight_toward_gated_router_is_caught(self, backend):
+        fabric = MultiNocFabric(gated_config(), seed=9, backend=backend)
         checker = InvariantChecker(fabric).attach()
         network = fabric.subnets[1]
         router = network.routers[1]
@@ -268,7 +275,7 @@ class TestMutations:
         assert err.value.invariant == "gated-arrival"
         assert "in flight toward" in err.value.details
 
-    def test_priority_skip_is_caught(self):
+    def test_priority_skip_is_caught(self, backend):
         class _SkippingPolicy:
             """Strict-priority claimant that actually skips subnet 0."""
 
@@ -280,25 +287,25 @@ class TestMutations:
             def select(self, node, cycle, packet=None):
                 return 1
 
-        fabric, checker = checked_fabric()
+        fabric, checker = checked_fabric(backend=backend)
         fabric.nis[0].policy = _CheckedPolicy(
             _SkippingPolicy(fabric.monitor), checker
         )
         fabric.offer(Packet(src=0, dst=5, size_bits=128))
         with pytest.raises(InvariantViolation) as err:
             for _ in range(20):
-                fabric.step()
+                fabric.run(1)
         assert err.value.invariant == "priority-selection"
         assert "subnet 1" in err.value.details
         assert "[0]" in err.value.details  # names the skipped subnet
 
-    def test_lost_flit_accounting_is_caught(self):
-        fabric, _checker = checked_fabric()
+    def test_lost_flit_accounting_is_caught(self, backend):
+        fabric, _checker = checked_fabric(backend=backend)
         network = fabric.subnets[0]
         network.counters.flits_injected += 1  # phantom injection
         network.flits_in_network += 1
         with pytest.raises(InvariantViolation) as err:
-            fabric.step()
+            fabric.run(1)
         assert err.value.invariant == "flit-conservation"
 
 

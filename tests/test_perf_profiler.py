@@ -14,6 +14,8 @@ import dataclasses
 import json
 import os
 
+import pytest
+
 from repro.noc.config import NocConfig, PowerGatingConfig
 from repro.noc.multinoc import MultiNocFabric
 from repro.perf.phases import ROUTER_STAGES, STEP_PHASES
@@ -46,9 +48,9 @@ def _run(fabric: MultiNocFabric, cycles: int = CYCLES) -> None:
     source = SyntheticTrafficSource(
         fabric, make_pattern("uniform", fabric.mesh), LOAD, 128, seed=7
     )
-    for _ in range(cycles):
-        source.step(fabric.cycle)
-        fabric.step()
+    # Through the backend (not a hand-rolled step loop) so the
+    # profiled-vs-plain contract is tested on every kernel.
+    fabric.backend.run(cycles, source)
 
 
 class TestZeroOverheadWhenDetached:
@@ -84,16 +86,19 @@ class TestZeroOverheadWhenDetached:
 
 
 class TestBehavioralEquivalence:
-    def test_profiled_run_matches_plain_run(self, monkeypatch):
+    @pytest.mark.parametrize("backend", ["dense", "skip"])
+    def test_profiled_run_matches_plain_run(self, monkeypatch, backend):
         """The stage-timed router mirror and the phased step must not
         drift from the plain code path: same seed, same traffic —
-        identical fabric report, field for field."""
+        identical fabric report, field for field.  On the skip kernel
+        the attached profiler forces the defer path (it observes every
+        cycle), which must match the plain skip-kernel run."""
         monkeypatch.delenv("REPRO_PERF", raising=False)
-        plain = MultiNocFabric(_config(), seed=7)
+        plain = MultiNocFabric(_config(), seed=7, backend=backend)
         _run(plain)
         plain_report = plain.report()
 
-        profiled = MultiNocFabric(_config(), seed=7)
+        profiled = MultiNocFabric(_config(), seed=7, backend=backend)
         profiler = PhaseProfiler(profiled, out_dir=None).attach()
         _run(profiled)
         profiled_report = profiled.report()

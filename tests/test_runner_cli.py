@@ -158,6 +158,43 @@ class TestFaultFlags:
         # healthy-result cache.
         assert os.environ["REPRO_NO_CACHE"] == "1"
 
+
+class TestBackendFlag:
+    def test_unknown_backend_is_a_usage_error(self, capsys):
+        # Validation happens at argument-parsing time (mirrors
+        # --faults): a typo must exit 2 with a usage error naming the
+        # valid backends, not crash deep in fabric construction.
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig06", "--backend", "bogus"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--backend" in err
+        assert "bogus" in err
+        assert "dense" in err and "skip" in err
+
+    def test_good_backend_sets_env_and_disables_cache(self, monkeypatch):
+        import os
+
+        for name in ("REPRO_BACKEND", "REPRO_NO_CACHE"):
+            monkeypatch.setenv(name, "placeholder")
+            monkeypatch.delenv(name)
+        assert main(["fig14", "--scale", "0.02", "--backend", "skip"]) == 0
+        assert os.environ["REPRO_BACKEND"] == "skip"
+        # A cache hit would silently skip exercising the requested
+        # kernel, so any non-default backend disables caching.
+        assert os.environ["REPRO_NO_CACHE"] == "1"
+
+    def test_default_backend_keeps_cache(self, monkeypatch, tmp_path):
+        import os
+
+        for name in ("REPRO_BACKEND", "REPRO_NO_CACHE"):
+            monkeypatch.setenv(name, "placeholder")
+            monkeypatch.delenv(name)
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig14", "--scale", "0.02", "--backend", "dense"]) == 0
+        assert os.environ["REPRO_BACKEND"] == "dense"
+        assert "REPRO_NO_CACHE" not in os.environ
+
     def test_point_failed_is_loud_without_progress(self, capsys):
         from repro.experiments.cli import _TallyObserver
         from repro.experiments.common import synthetic_phases
