@@ -45,7 +45,9 @@ _TEST_STARTED = 0.0
 
 def bench_scale(default: float = 0.35) -> float:
     """Scale factor for benchmark experiment runs."""
-    return float(os.environ.get("REPRO_BENCH_SCALE", default))
+    from repro.util import env
+
+    return env.floating("REPRO_BENCH_SCALE", default)
 
 
 def _jobs() -> int:

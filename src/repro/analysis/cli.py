@@ -2,18 +2,25 @@
 
 Subcommands::
 
-    python -m repro.analysis lint                  # lint src/repro
+    python -m repro.analysis lint                  # SIM001-SIM006, src/repro
     python -m repro.analysis lint path/ --no-baseline
-    python -m repro.analysis lint --baseline       # explicit baseline
-    python -m repro.analysis lint --write-baseline # accept current state
-    python -m repro.analysis lint --format json
-    python -m repro.analysis rules                 # print the catalogue
+    python -m repro.analysis contracts             # SIM101-SIM105, whole tree
+    python -m repro.analysis contracts --format json --output report.json
+    python -m repro.analysis contracts --write-baseline
+    python -m repro.analysis rules                 # print the full catalogue
+
+``lint`` runs the per-file passes; ``contracts`` parses the whole
+package into a symbol table and verifies the architectural contracts
+(shadowing discipline, backend seams, report/cache-key determinism,
+the ``REPRO_*`` env registry, ``__slots__`` discipline) — see
+``docs/analysis.md``.
 
 Exit status: 0 when no (new) violations were found, 1 otherwise, 2 on
 usage errors.  When the committed baseline (``lint-baseline.json`` at
 the repository root) exists it is applied by default, so CI and local
 runs fail only on *new* violations; pass ``--no-baseline`` for the
-full list.
+full list.  Both subcommands share one baseline file: fingerprints
+embed the rule code, so entries never collide across tools.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ import json
 import sys
 from pathlib import Path
 
+from repro.analysis.contracts import check_tree, default_docs_dir
 from repro.analysis.lint import (
     LINT_RULES,
     Baseline,
@@ -35,23 +43,9 @@ from repro.analysis.lint import (
 __all__ = ["main"]
 
 
-def _build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.analysis",
-        description="Simulator-specific static analysis (SIM001-SIM006).",
-    )
-    sub = parser.add_subparsers(dest="command")
-
-    lint = sub.add_parser(
-        "lint", help="run the SIM001-SIM006 lint passes"
-    )
-    lint.add_argument(
-        "paths",
-        nargs="*",
-        type=Path,
-        help="files or directories (default: the repro package)",
-    )
-    lint.add_argument(
+def _add_report_options(sub: argparse.ArgumentParser) -> None:
+    """Options shared by every violation-reporting subcommand."""
+    sub.add_argument(
         "--baseline",
         nargs="?",
         type=Path,
@@ -61,12 +55,12 @@ def _build_parser() -> argparse.ArgumentParser:
         help="suppress violations recorded in FILE (default: the "
         "committed lint-baseline.json)",
     )
-    lint.add_argument(
+    sub.add_argument(
         "--no-baseline",
         action="store_true",
         help="report every violation, ignoring any baseline file",
     )
-    lint.add_argument(
+    sub.add_argument(
         "--write-baseline",
         nargs="?",
         type=Path,
@@ -75,17 +69,67 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record the current violations as the accepted baseline",
     )
-    lint.add_argument(
+    sub.add_argument(
         "--format",
         choices=("text", "json"),
         default="text",
         help="report format (default: text)",
     )
-    lint.add_argument(
+    sub.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        metavar="FILE",
+        help="also write the JSON report to FILE (for CI artifacts)",
+    )
+    sub.add_argument(
         "--no-hints",
         action="store_true",
         help="omit fix hints from text output",
     )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description=(
+            "Simulator-specific static analysis: per-file lint "
+            "(SIM001-SIM006) and whole-program architectural "
+            "contracts (SIM101-SIM105)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command")
+
+    lint = sub.add_parser(
+        "lint", help="run the SIM001-SIM006 per-file lint passes"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories (default: the repro package)",
+    )
+    _add_report_options(lint)
+
+    contracts = sub.add_parser(
+        "contracts",
+        help="run the SIM101-SIM105 whole-program contract checks",
+    )
+    contracts.add_argument(
+        "root",
+        nargs="?",
+        type=Path,
+        help="package root to analyze (default: the repro package)",
+    )
+    contracts.add_argument(
+        "--docs",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="docs directory for the drift checks (default: the "
+        "repository's docs/; pass a nonexistent path to skip)",
+    )
+    _add_report_options(contracts)
 
     sub.add_parser("rules", help="print the rule catalogue")
     return parser
@@ -100,17 +144,33 @@ def _resolve_baseline_path(option: Path | bool | None) -> Path | None:
     return Path(option)
 
 
-def _cmd_rules() -> int:
-    for rule in LINT_RULES.values():
-        print(f"{rule.code} [{rule.severity}] {rule.title}")
-        print(f"    fix: {rule.hint}")
-    return 0
+def _violation_payload(violations: list[Violation]) -> list[dict]:
+    return [
+        {
+            "rule": v.rule,
+            "severity": v.severity,
+            "path": v.path,
+            "line": v.line,
+            "col": v.col,
+            "message": v.message,
+            "hint": v.hint,
+            "scope": v.scope,
+            "snippet": v.snippet,
+        }
+        for v in violations
+    ]
 
 
-def _cmd_lint(args: argparse.Namespace) -> int:
-    targets = args.paths or [default_target()]
-    violations = lint_paths(targets)
+def _report(
+    violations: list[Violation],
+    args: argparse.Namespace,
+    default_run: bool,
+) -> int:
+    """Shared baseline handling + rendering; returns the exit status.
 
+    ``default_run`` marks an invocation with no explicit target, where
+    the committed baseline applies automatically.
+    """
     write_path = _resolve_baseline_path(args.write_baseline)
     if write_path is not None:
         Baseline.from_violations(violations).save(write_path)
@@ -131,33 +191,20 @@ def _cmd_lint(args: argparse.Namespace) -> int:
                 )
                 return 2
             applied_baseline = baseline_path
-        elif not args.paths and default_baseline_path().is_file():
+        elif default_run and default_baseline_path().is_file():
             # Default run over the default target: apply the committed
             # baseline so only new violations fail.
             applied_baseline = default_baseline_path()
     if applied_baseline is not None:
         violations = Baseline.load(applied_baseline).filter_new(violations)
 
-    if args.format == "json":
-        print(
-            json.dumps(
-                [
-                    {
-                        "rule": v.rule,
-                        "severity": v.severity,
-                        "path": v.path,
-                        "line": v.line,
-                        "col": v.col,
-                        "message": v.message,
-                        "hint": v.hint,
-                        "scope": v.scope,
-                        "snippet": v.snippet,
-                    }
-                    for v in violations
-                ],
-                indent=2,
-            )
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(
+            json.dumps(_violation_payload(violations), indent=2) + "\n"
         )
+    if args.format == "json":
+        print(json.dumps(_violation_payload(violations), indent=2))
     else:
         for violation in violations:
             print(violation.render(show_hint=not args.no_hints))
@@ -173,6 +220,26 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     return 1 if violations else 0
 
 
+def _cmd_rules() -> int:
+    for rule in sorted(LINT_RULES.values(), key=lambda r: r.code):
+        print(f"{rule.code} [{rule.severity}] {rule.title}")
+        print(f"    fix: {rule.hint}")
+    return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    targets = args.paths or [default_target()]
+    violations = lint_paths(targets)
+    return _report(violations, args, default_run=not args.paths)
+
+
+def _cmd_contracts(args: argparse.Namespace) -> int:
+    root = args.root or default_target()
+    docs = args.docs if args.docs is not None else default_docs_dir()
+    violations = check_tree(root, docs if docs.is_dir() else None)
+    return _report(violations, args, default_run=args.root is None)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit status."""
     parser = _build_parser()
@@ -181,9 +248,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_rules()
     if args.command == "lint":
         return _cmd_lint(args)
+    if args.command == "contracts":
+        return _cmd_contracts(args)
     parser.print_help()
     return 2
-
-
-if __name__ == "__main__":
-    sys.exit(main())

@@ -57,12 +57,12 @@ sampling trades coverage for speed without false positives.
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Any, Iterator
 
 from repro.noc.buffers import vc_candidates
 from repro.noc.router import PowerState, Router
 from repro.noc.topology import Port
+from repro.util import env
 
 if TYPE_CHECKING:
     from repro.noc.flit import Packet
@@ -102,8 +102,7 @@ class InvariantViolation(RuntimeError):
 
 def checking_enabled() -> bool:
     """True when ``REPRO_CHECK`` asks for runtime invariant checking."""
-    value = os.environ.get("REPRO_CHECK", "")
-    return value not in ("", "0")
+    return env.flag("REPRO_CHECK")
 
 
 def maybe_attach(fabric: "MultiNocFabric") -> "InvariantChecker | None":
@@ -165,9 +164,9 @@ class InvariantChecker:
     ) -> None:
         self.fabric = fabric
         if interval is None:
-            interval = int(os.environ.get("REPRO_CHECK_INTERVAL", "1"))
+            interval = env.integer("REPRO_CHECK_INTERVAL", 1)
         if stall_cycles is None:
-            stall_cycles = int(os.environ.get("REPRO_CHECK_STALL", "1024"))
+            stall_cycles = env.integer("REPRO_CHECK_STALL", 1024)
         if interval < 1:
             raise ValueError("check interval must be >= 1")
         if stall_cycles < 1:

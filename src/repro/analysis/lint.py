@@ -166,13 +166,15 @@ class Violation:
         return LINT_RULES[self.rule].hint
 
     def fingerprint(self) -> str:
-        """Line-number-independent identity used by the baseline.
+        """Line- and path-independent identity used by the baseline.
 
-        Keyed on (rule, file, enclosing scope, source text) so adding
-        or removing unrelated lines above a known violation does not
-        make it read as new.
+        Keyed on (rule, enclosing scope, source text) so adding or
+        removing unrelated lines above a known violation — or renaming
+        the file that holds it — does not make it read as new.  Entries
+        whose file was deleted simply absorb nothing (the baseline is
+        count-based), so stale entries never fail a run.
         """
-        return f"{self.rule}|{self.path}|{self.scope}|{self.snippet}"
+        return f"{self.rule}|{self.scope}|{self.snippet}"
 
     def render(self, show_hint: bool = True) -> str:
         text = (
@@ -544,7 +546,9 @@ class Baseline:
 
     entries: dict[str, int] = field(default_factory=dict)
 
-    VERSION = 1
+    #: Version 2 dropped the file path from fingerprints so renames do
+    #: not invalidate a committed baseline.
+    VERSION = 2
 
     @classmethod
     def from_violations(cls, violations: Iterable[Violation]) -> "Baseline":

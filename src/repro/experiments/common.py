@@ -11,7 +11,6 @@ recorded EXPERIMENTS.md numbers use the default scale).
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 
 from repro.noc.config import SYNTHETIC_PACKET_BITS, NocConfig
@@ -25,6 +24,7 @@ from repro.power.network_power import (
 from repro.system.processor import Processor, SystemResult
 from repro.traffic.generators import SyntheticTrafficSource
 from repro.traffic.patterns import make_pattern
+from repro.util import env
 from repro.util.tables import format_table
 
 __all__ = [
@@ -128,7 +128,7 @@ class ExperimentResult:
 
 def env_scale(default: float = 1.0) -> float:
     """Experiment scale factor from ``REPRO_SCALE`` (default 1.0)."""
-    value = os.environ.get("REPRO_SCALE")
+    value = env.raw("REPRO_SCALE")
     if value is None:
         return default
     scale = float(value)

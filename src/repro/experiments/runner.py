@@ -54,6 +54,7 @@ from repro.perf import meters
 from repro.power.network_power import COMPONENT_NAMES, power_at_port_load
 from repro.power.technology import table2_rows
 from repro.traffic.generators import BurstyTrafficSource
+from repro.util import env
 from repro.traffic.patterns import make_pattern
 
 __all__ = [
@@ -526,20 +527,19 @@ class SweepCache:
 
 
 def _cache_disabled_by_env() -> bool:
-    value = os.environ.get("REPRO_NO_CACHE", "")
-    return value not in ("", "0")
+    return env.flag("REPRO_NO_CACHE")
 
 
 def default_cache() -> SweepCache | None:
     """Cache per environment: ``None`` when ``REPRO_NO_CACHE`` is set."""
     if _cache_disabled_by_env():
         return None
-    return SweepCache(os.environ.get("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
+    return SweepCache(env.text("REPRO_CACHE_DIR", DEFAULT_CACHE_DIR))
 
 
 def env_jobs(default: int | None = None) -> int:
     """Worker count from ``REPRO_JOBS`` (default: all cores)."""
-    value = os.environ.get("REPRO_JOBS")
+    value = env.raw("REPRO_JOBS")
     if value is None:
         return default if default is not None else (os.cpu_count() or 1)
     jobs = int(value)

@@ -18,6 +18,8 @@ SHA-256 — are byte-identical across runs and across ``--jobs 1`` vs.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.experiments.common import (
     DEFAULT_SEED,
     ExperimentResult,
@@ -68,7 +70,7 @@ def run_fault_point(
     seed: int,
     faults: str,
     packet_bits: int = SYNTHETIC_PACKET_BITS,
-) -> dict:
+) -> dict[str, Any]:
     """One (config, pattern, load, fault-spec) measurement row.
 
     The fault engine is attached *explicitly* from the point's own

@@ -40,7 +40,6 @@ from __future__ import annotations
 
 import hashlib
 import json
-import os
 from typing import TYPE_CHECKING, Any, Callable
 
 from repro.faults.recovery import RecoveryConfig
@@ -53,9 +52,11 @@ from repro.faults.spec import (
     parse_fault_spec,
 )
 from repro.noc.topology import Port
+from repro.util import env
 
 if TYPE_CHECKING:
     from repro.noc.flit import Packet
+    from repro.noc.interface import NetworkInterface
     from repro.noc.multinoc import MultiNocFabric
     from repro.noc.network import SubnetNetwork
     from repro.noc.router import Router
@@ -69,8 +70,7 @@ MAX_LOG_ENTRIES = 100_000
 
 def faults_enabled() -> bool:
     """True when ``REPRO_FAULTS`` asks for fault injection."""
-    value = os.environ.get("REPRO_FAULTS", "")
-    return value not in ("", "0")
+    return env.flag("REPRO_FAULTS")
 
 
 def maybe_attach(fabric: "MultiNocFabric") -> "FaultEngine | None":
@@ -145,7 +145,7 @@ class FaultEngine:
     @classmethod
     def from_env(cls, fabric: "MultiNocFabric") -> "FaultEngine":
         """Build an engine from the ``REPRO_FAULTS`` spec grammar."""
-        spec = parse_fault_spec(os.environ.get("REPRO_FAULTS", ""))
+        spec = parse_fault_spec(env.text("REPRO_FAULTS"))
         return cls(fabric, spec)
 
     # ------------------------------------------------------------------
@@ -212,7 +212,7 @@ class FaultEngine:
     # ------------------------------------------------------------------
     # Event log
     # ------------------------------------------------------------------
-    def _log(self, entry: dict) -> None:
+    def _log(self, entry: dict[str, Any]) -> None:
         if len(self.event_log) >= MAX_LOG_ENTRIES:
             self.truncated_log_entries += 1
             return
@@ -318,7 +318,7 @@ class FaultEngine:
             active: list[FaultEvent] = getattr(self, name)
             if not active:
                 continue
-            remaining = []
+            remaining: list[FaultEvent] = []
             for event in active:
                 if cycle + 1 >= event.cycle + event.duration:
                     self._resolve(
@@ -501,7 +501,10 @@ class FaultEngine:
         self._orig_begin_wakeup(router, cycle, stats)
 
     def _tap_monitor_update(
-        self, cycle: int, subnets: list, nis: list
+        self,
+        cycle: int,
+        subnets: list[SubnetNetwork],
+        nis: list[NetworkInterface],
     ) -> None:
         self._orig_monitor_update(cycle, subnets, nis)
         if not self._stuck_lcs:

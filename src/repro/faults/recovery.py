@@ -28,8 +28,12 @@ hook (so an engine-less fabric never pays for any of it):
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.faults.spec import RECOVERY_NAMES
+
+if TYPE_CHECKING:
+    from repro.faults.spec import FaultSpec
 
 __all__ = ["RecoveryConfig"]
 
@@ -87,6 +91,6 @@ class RecoveryConfig:
         return "rcs-refresh" in self.enabled
 
     @classmethod
-    def from_spec(cls, spec) -> "RecoveryConfig":
+    def from_spec(cls, spec: "FaultSpec") -> "RecoveryConfig":
         """Recovery configuration implied by a :class:`FaultSpec`."""
         return cls(enabled=tuple(spec.recover))

@@ -12,6 +12,7 @@ digests regardless of worker count (the campaign driver asserts this).
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
+from typing import Any
 
 __all__ = ["FaultReport"]
 
@@ -51,7 +52,7 @@ class FaultReport:
     #: SHA-256 of the canonical event log (determinism witness).
     event_digest: str
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, Any]:
         """Plain-dict form for JSON artifacts and sweep rows."""
         return asdict(self)
 

@@ -36,7 +36,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from typing import TYPE_CHECKING
+
 from repro.util.rng import DeterministicRng
+
+if TYPE_CHECKING:
+    from repro.noc.config import NocConfig
+    from repro.noc.topology import ConcentratedMesh
 
 __all__ = [
     "FAULT_CLASSES",
@@ -167,7 +173,7 @@ class FaultEvent:
     recovered: bool = field(default=False, compare=False)
     resolved: str = field(default="", compare=False)
 
-    def key(self) -> dict:
+    def key(self) -> dict[str, int | str]:
         """JSON-safe identity (engine bookkeeping excluded)."""
         return {
             "seq": self.seq,
@@ -238,7 +244,9 @@ def parse_fault_spec(text: str) -> FaultSpec:
     return FaultSpec(**fields)  # type: ignore[arg-type]
 
 
-def compile_schedule(spec, config, mesh) -> list:
+def compile_schedule(
+    spec: FaultSpec, config: NocConfig, mesh: ConcentratedMesh
+) -> list[FaultEvent]:
     """Compile ``spec`` into a sorted, deterministic event schedule.
 
     Parameters

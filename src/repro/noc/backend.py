@@ -43,13 +43,13 @@ Backend selection: ``MultiNocFabric(config, backend="skip")`` or the
 
 from __future__ import annotations
 
-import os
 from typing import TYPE_CHECKING, Callable
 
 from repro.core.gating import GatingPolicy
 from repro.noc.buffers import vc_candidates
 from repro.noc.router import PowerState
 from repro.noc.topology import Port
+from repro.util import env
 
 if TYPE_CHECKING:
     from repro.noc.multinoc import MultiNocFabric
@@ -1014,4 +1014,4 @@ def make_backend(name: str, fabric: "MultiNocFabric") -> FabricBackend:
 
 def backend_from_env() -> str:
     """Backend name selected by ``REPRO_BACKEND`` (default ``dense``)."""
-    return os.environ.get("REPRO_BACKEND", "") or DEFAULT_BACKEND
+    return env.text("REPRO_BACKEND", DEFAULT_BACKEND)

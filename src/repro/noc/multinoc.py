@@ -14,7 +14,6 @@ and experiment drivers need.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -29,6 +28,7 @@ from repro.noc.network import SubnetNetwork
 from repro.noc.routing import XYRouting
 from repro.noc.stats import NetworkStats
 from repro.noc.topology import ConcentratedMesh
+from repro.util import env
 from repro.util.rng import DeterministicRng
 
 __all__ = ["MultiNocFabric", "FabricReport"]
@@ -133,8 +133,7 @@ class MultiNocFabric:
         # step — their instance shadows capture whatever ``step`` is
         # bound at attach time, so the three observers compose.
         self.perf = None
-        perf = os.environ.get("REPRO_PERF", "")
-        if perf and perf != "0":
+        if env.flag("REPRO_PERF"):
             from repro.perf.profiler import PhaseProfiler
 
             self.perf = PhaseProfiler.from_env(self).attach()
@@ -143,8 +142,7 @@ class MultiNocFabric:
         # telemetry (so the checker reconciles post-fault truth and
         # telemetry observes injected behaviour).
         self.faults = None
-        faults = os.environ.get("REPRO_FAULTS", "")
-        if faults and faults != "0":
+        if env.flag("REPRO_FAULTS"):
             from repro.faults.engine import FaultEngine
 
             self.faults = FaultEngine.from_env(self).attach()
@@ -152,8 +150,7 @@ class MultiNocFabric:
         # checker shadows ``step`` on this instance only, so unchecked
         # fabrics keep the unhooked fast path with zero overhead.
         self.invariant_checker = None
-        check = os.environ.get("REPRO_CHECK", "")
-        if check and check != "0":
+        if env.flag("REPRO_CHECK"):
             from repro.analysis.invariants import InvariantChecker
 
             self.invariant_checker = InvariantChecker(self).attach()
@@ -162,8 +159,7 @@ class MultiNocFabric:
         # methods, so telemetry-off runs execute the identical code
         # path as a build without the telemetry package.
         self.telemetry = None
-        telemetry = os.environ.get("REPRO_TELEMETRY", "")
-        if telemetry and telemetry != "0":
+        if env.flag("REPRO_TELEMETRY"):
             from repro.telemetry.hub import TelemetryHub
 
             self.telemetry = TelemetryHub.from_env(self).attach()

@@ -27,6 +27,7 @@ import platform
 import re
 import subprocess
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.util.tables import format_table
 
@@ -58,7 +59,7 @@ def bench_filename(name: str) -> str:
     return f"BENCH_{name}.json"
 
 
-def host_fingerprint() -> dict:
+def host_fingerprint() -> dict[str, Any]:
     """Where a benchmark ran: enough to spot cross-host comparisons."""
     return {
         "platform": platform.platform(),
@@ -92,7 +93,7 @@ def make_bench_record(
     sim_cycles: int = 0,
     sim_flits: int = 0,
     repo_dir: str | None = None,
-) -> dict:
+) -> dict[str, Any]:
     """Schema-complete record for one benchmark run."""
     return {
         "schema": BENCH_SCHEMA,
@@ -128,7 +129,7 @@ def validate_bench_record(doc: object) -> list[str]:
     """Schema problems of one record; empty list when it is valid."""
     if not isinstance(doc, dict):
         return ["record is not a JSON object"]
-    errors = []
+    errors: list[str] = []
     for key, types in _REQUIRED_FIELDS.items():
         if key not in doc:
             errors.append(f"missing field {key!r}")
@@ -148,7 +149,7 @@ def validate_bench_record(doc: object) -> list[str]:
     return errors
 
 
-def write_bench_record(directory: str, record: dict) -> str:
+def write_bench_record(directory: str, record: dict[str, Any]) -> str:
     """Persist ``record`` as ``BENCH_<name>.json``; return the path."""
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, bench_filename(record["name"]))
@@ -208,7 +209,7 @@ class BenchComparison:
 
     def render(self) -> str:
         """ASCII report: comparison table plus any notes."""
-        parts = []
+        parts: list[str] = []
         if self.rows:
             parts.append(
                 format_table(

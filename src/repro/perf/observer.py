@@ -15,6 +15,7 @@ from typing import Any, TextIO
 
 from repro.experiments.runner import SweepObserver, SweepStats
 from repro.perf.profiler import DEFAULT_DIR
+from repro.util import env
 
 __all__ = ["PerfObserver"]
 
@@ -30,11 +31,7 @@ class PerfObserver(SweepObserver):
     ) -> None:
         import sys
 
-        self.directory = (
-            directory
-            or os.environ.get("REPRO_PERF_DIR", "")
-            or DEFAULT_DIR
-        )
+        self.directory = directory or env.text("REPRO_PERF_DIR", DEFAULT_DIR)
         self.stream = stream if stream is not None else sys.stderr
         self._known: set[str] = set()
         #: Every artifact path reported so far, in report order.

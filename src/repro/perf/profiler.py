@@ -50,6 +50,7 @@ from repro.perf.phases import (
     StageClock,
     profiled_router_step,
 )
+from repro.util import env
 from repro.util.ascii_plot import bar_chart
 from repro.util.histogram import BoundedHistogram
 
@@ -84,19 +85,14 @@ _HISTOGRAM_PHASES = (
 )
 
 
-def _env_flag(name: str) -> bool:
-    value = os.environ.get(name, "")
-    return value not in ("", "0")
-
-
 def perf_enabled() -> bool:
     """True when ``REPRO_PERF`` asks for simulator self-profiling."""
-    return _env_flag("REPRO_PERF")
+    return env.flag("REPRO_PERF")
 
 
 def cprofile_enabled() -> bool:
     """True when ``REPRO_PERF_CPROFILE`` asks for a cProfile capture."""
-    return _env_flag("REPRO_PERF_CPROFILE")
+    return env.flag("REPRO_PERF_CPROFILE")
 
 
 def maybe_attach(fabric: "MultiNocFabric") -> "PhaseProfiler | None":
@@ -146,7 +142,7 @@ class PhaseProfiler:
     @classmethod
     def from_env(cls, fabric: "MultiNocFabric") -> "PhaseProfiler":
         """Build a profiler configured by ``REPRO_PERF_*`` variables."""
-        out_dir = os.environ.get("REPRO_PERF_DIR", "") or DEFAULT_DIR
+        out_dir = env.text("REPRO_PERF_DIR", DEFAULT_DIR)
         return cls(
             fabric,
             out_dir=out_dir,
@@ -324,7 +320,7 @@ class PhaseProfiler:
     # ------------------------------------------------------------------
     # Documents
     # ------------------------------------------------------------------
-    def profile(self) -> dict:
+    def profile(self) -> dict[str, Any]:
         """JSON-safe profile document for this fabric so far."""
         fabric = self.fabric
         step_seconds = self.step_seconds
@@ -413,7 +409,7 @@ class PhaseProfiler:
             base = os.path.basename(filename) if filename else "~"
             return f"{base}:{lineno}:{name}".replace(" ", "_")
 
-        lines = []
+        lines: list[str] = []
         stats = pstats.Stats(self._cprofile)
         for func, (_cc, _nc, tottime, _ct, callers) in stats.stats.items():
             if not callers:

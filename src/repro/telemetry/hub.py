@@ -44,6 +44,7 @@ from typing import TYPE_CHECKING, Any, Callable
 from repro.noc.router import PowerState, Router
 from repro.telemetry.samplers import TimeSeriesSampler
 from repro.telemetry.trace import build_chrome_trace
+from repro.util import env
 from repro.util.ascii_plot import bar_chart
 from repro.util.histogram import BoundedHistogram
 
@@ -62,8 +63,7 @@ DEFAULT_MAX_PACKETS = 20_000
 
 def telemetry_enabled() -> bool:
     """True when ``REPRO_TELEMETRY`` asks for fabric telemetry."""
-    value = os.environ.get("REPRO_TELEMETRY", "")
-    return value not in ("", "0")
+    return env.flag("REPRO_TELEMETRY")
 
 
 def maybe_attach(fabric: "MultiNocFabric") -> "TelemetryHub | None":
@@ -136,13 +136,10 @@ class TelemetryHub:
     @classmethod
     def from_env(cls, fabric: "MultiNocFabric") -> "TelemetryHub":
         """Build a hub configured by ``REPRO_TELEMETRY_*`` variables."""
-        period = int(
-            os.environ.get("REPRO_TELEMETRY_PERIOD", "") or DEFAULT_PERIOD
-        )
-        out_dir = os.environ.get("REPRO_TELEMETRY_DIR", "") or DEFAULT_DIR
-        max_packets = int(
-            os.environ.get("REPRO_TELEMETRY_MAX_PACKETS", "")
-            or DEFAULT_MAX_PACKETS
+        period = env.integer("REPRO_TELEMETRY_PERIOD", DEFAULT_PERIOD)
+        out_dir = env.text("REPRO_TELEMETRY_DIR", DEFAULT_DIR)
+        max_packets = env.integer(
+            "REPRO_TELEMETRY_MAX_PACKETS", DEFAULT_MAX_PACKETS
         )
         return cls(
             fabric,

@@ -15,6 +15,7 @@ import os
 
 from repro.experiments.runner import SweepObserver, SweepStats
 from repro.telemetry.hub import DEFAULT_DIR
+from repro.util import env
 
 __all__ = ["TelemetryObserver"]
 
@@ -30,10 +31,8 @@ class TelemetryObserver(SweepObserver):
     ) -> None:
         import sys
 
-        self.directory = (
-            directory
-            or os.environ.get("REPRO_TELEMETRY_DIR", "")
-            or DEFAULT_DIR
+        self.directory = directory or env.text(
+            "REPRO_TELEMETRY_DIR", DEFAULT_DIR
         )
         self.stream = stream if stream is not None else sys.stderr
         self._known: set[str] = set()

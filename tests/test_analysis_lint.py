@@ -33,7 +33,10 @@ def rules_of(source: str, path: str = SIM_PATH) -> list[str]:
 
 
 def test_rule_catalogue_is_complete():
-    assert sorted(LINT_RULES) == [
+    # The contracts module merges SIM101-SIM105 into the shared
+    # catalogue at import time, so assert containment, not equality.
+    lint_codes = {c for c in LINT_RULES if c < "SIM100"}
+    assert sorted(lint_codes) == [
         "SIM001", "SIM002", "SIM003", "SIM004", "SIM005", "SIM006",
     ]
     for rule in LINT_RULES.values():
