@@ -165,12 +165,37 @@ class _TallyObserver(runner.SweepObserver):
         self.misses = 0
         self.sim_cycles = 0
         self.sim_flits = 0
+        #: ``SweepStats.to_json()`` of every finished sweep, in order
+        #: (across resets — an experiment's whole CLI invocation feeds
+        #: one ``--stats-out`` document).
+        if not hasattr(self, "sweep_stats"):
+            self.sweep_stats: list[dict] = []
+
+    def sweep_context(self, specs, jobs: int, cached: bool) -> None:
+        if self.progress:
+            self.progress.sweep_context(specs, jobs, cached)
+        for observer in self.extra:
+            observer.sweep_context(specs, jobs, cached)
 
     def sweep_started(self, total: int) -> None:
         if self.progress:
             self.progress.sweep_started(total)
         for observer in self.extra:
             observer.sweep_started(total)
+
+    def point_started(self, index, spec) -> None:
+        if self.progress:
+            self.progress.point_started(index, spec)
+        for observer in self.extra:
+            observer.point_started(index, spec)
+
+    def worker_heartbeat(
+        self, pid: int, cycles: int, flits: int, elapsed: float
+    ) -> None:
+        if self.progress:
+            self.progress.worker_heartbeat(pid, cycles, flits, elapsed)
+        for observer in self.extra:
+            observer.worker_heartbeat(pid, cycles, flits, elapsed)
 
     def point_finished(self, index, spec, rows, elapsed, cached) -> None:
         self.points += 1
@@ -199,6 +224,16 @@ class _TallyObserver(runner.SweepObserver):
     def sweep_finished(self, stats) -> None:
         self.sim_cycles += stats.sim_cycles
         self.sim_flits += stats.sim_flits
+        self.sweep_stats.append(stats.to_json())
+        if self.progress:
+            self.progress.sweep_finished(stats)
+        elif stats.retried_points or stats.failed_points:
+            # Even without --progress, degraded sweeps must be loud:
+            # retries mean flaky points, failures mean missing rows.
+            line = f"  sweep: {stats.retried_points} retried"
+            if stats.failed_points:
+                line += f", {len(stats.failed_points)} FAILED"
+            print(line, file=sys.stderr)
         for observer in self.extra:
             observer.sweep_finished(stats)
 
@@ -330,6 +365,19 @@ def main(argv: list[str] | None = None) -> int:
         help="append latency p50/p95/p99 columns to tables that "
         "carry them",
     )
+    parser.add_argument(
+        "--ledger",
+        action="store_true",
+        help="record every sweep to a run ledger under results/obs/ "
+        "(inspect with `python -m repro.obs`; see docs/obs.md)",
+    )
+    parser.add_argument(
+        "--stats-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write per-sweep SweepStats (repro.obs/1 JSON) to PATH",
+    )
     args = parser.parse_args(argv)
     if args.list or args.experiment is None:
         for name in EXPERIMENTS:
@@ -422,6 +470,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.observer import PerfObserver
 
         extra.append(PerfObserver())
+    from repro.util import env
+
+    if args.ledger or env.flag("REPRO_OBS"):
+        from repro.obs.ledger import LedgerObserver
+
+        extra.append(LedgerObserver())
     tally = _TallyObserver(progress=args.progress, extra=extra)
     runner.set_default_observer(tally)
     try:
@@ -447,6 +501,21 @@ def main(argv: list[str] | None = None) -> int:
                 (args.out / f"{name}.txt").write_text(table + "\n")
     finally:
         runner.set_default_observer(None)
+    if args.stats_out is not None:
+        import json
+
+        args.stats_out.parent.mkdir(parents=True, exist_ok=True)
+        args.stats_out.write_text(
+            json.dumps(
+                {
+                    "schema": "repro.obs/1",
+                    "sweeps": tally.sweep_stats,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
     return 0
 
 

@@ -588,6 +588,40 @@ class SweepStats:
             return 0.0
         return sum(self.worker_busy_seconds.values()) / denominator
 
+    def to_json(self) -> dict:
+        """JSON-safe view with a stable key order.
+
+        The schema tag (``repro.obs/1``) is shared with the run
+        ledger's ``sweep_finished`` event (see ``docs/obs.md``), so a
+        ``--stats-out`` file and a ledger record of the same sweep are
+        field-for-field comparable.  Keys are emitted in a fixed order
+        and the pid map is sorted, so two equal stats objects always
+        serialize byte-identically.
+        """
+        return {
+            "schema": "repro.obs/1",
+            "points": self.points,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "failed_points": [
+                [index, error] for index, error in self.failed_points
+            ],
+            "retried_points": self.retried_points,
+            "sim_cycles": self.sim_cycles,
+            "sim_flits": self.sim_flits,
+            "workers": self.workers,
+            "worker_busy_seconds": {
+                str(pid): seconds
+                for pid, seconds in sorted(
+                    self.worker_busy_seconds.items()
+                )
+            },
+            "worker_utilization": self.worker_utilization(),
+            "wall_seconds": self.wall_seconds,
+            "exec_wall_seconds": self.exec_wall_seconds,
+            "point_seconds": list(self.point_seconds),
+        }
+
 
 class SweepObserver:
     """Hook interface for sweep progress; all methods default to no-ops.
@@ -595,10 +629,33 @@ class SweepObserver:
     ``point_finished`` fires once per point, in completion order (which
     under a parallel pool is not spec order); ``elapsed`` is the
     in-worker execution time and is ``0.0`` for cache hits.
+
+    ``sweep_context`` fires once before ``sweep_started`` with the
+    resolved execution policy — the full spec list, the worker count,
+    and whether a cache is in play — so observers that need run
+    identity (the :mod:`repro.obs` ledger derives its run-id from the
+    spec digests) never have to re-derive it from the environment.
+    ``point_started`` marks a point entering the execution section (in
+    spec order; cache hits never start), and ``worker_heartbeat``
+    reports each executed point's worker pid plus its simulated-work
+    delta, immediately before the matching ``point_finished``.
     """
+
+    def sweep_context(
+        self, specs: list["PointSpec"], jobs: int, cached: bool
+    ) -> None:
+        """Execution policy for the sweep about to run."""
 
     def sweep_started(self, total: int) -> None:
         pass
+
+    def point_started(self, index: int, spec: "PointSpec") -> None:
+        """``specs[index]`` was handed to the execution section."""
+
+    def worker_heartbeat(
+        self, pid: int, cycles: int, flits: int, elapsed: float
+    ) -> None:
+        """One executed point's worker pid and (cycles, flits) delta."""
 
     def point_finished(
         self,
@@ -620,7 +677,13 @@ class SweepObserver:
 
 
 class ProgressObserver(SweepObserver):
-    """Prints one line per completed point plus a summary."""
+    """Prints one line per completed point plus a summary.
+
+    Status lines carry a rolling ETA (wall time so far divided by
+    completed points, scaled to the remainder — meaningless before two
+    points have finished, so suppressed until then) and the running
+    cache-hit count when any point hit.
+    """
 
     def __init__(self, stream=None):
         import sys
@@ -628,16 +691,36 @@ class ProgressObserver(SweepObserver):
         self.stream = stream if stream is not None else sys.stderr
         self._total = 0
         self._done = 0
+        self._hits = 0
+        self._started = 0.0
 
     def sweep_started(self, total: int) -> None:
         self._total = total
         self._done = 0
+        self._hits = 0
+        self._started = time.perf_counter()
+
+    def _suffix(self) -> str:
+        """`` [eta 12s, 3 cached]`` from completed-point wall times."""
+        extras: list[str] = []
+        remaining = self._total - self._done
+        if self._done >= 2 and remaining > 0:
+            per_point = (
+                time.perf_counter() - self._started
+            ) / self._done
+            extras.append(f"eta {per_point * remaining:.0f}s")
+        if self._hits:
+            extras.append(f"{self._hits} cached")
+        return f" [{', '.join(extras)}]" if extras else ""
 
     def point_finished(self, index, spec, rows, elapsed, cached) -> None:
         self._done += 1
+        if cached:
+            self._hits += 1
         status = "cache" if cached else f"{elapsed:.2f}s"
         print(
-            f"  [{self._done}/{self._total}] {spec.describe()} ({status})",
+            f"  [{self._done}/{self._total}] {spec.describe()} "
+            f"({status}){self._suffix()}",
             file=self.stream,
         )
 
@@ -654,6 +737,8 @@ class ProgressObserver(SweepObserver):
             f"  sweep: {stats.points} points, {stats.cache_hits} cached, "
             f"{stats.cache_misses} simulated in {stats.wall_seconds:.2f}s"
         )
+        if stats.retried_points:
+            line += f"; {stats.retried_points} retried"
         if stats.failed_points:
             line += f"; {len(stats.failed_points)} FAILED"
         from repro.perf.meters import throughput_suffix
@@ -724,6 +809,7 @@ def run_sweep(
 
     stats = SweepStats(points=len(specs))
     started = time.perf_counter()
+    observer.sweep_context(specs, jobs, cache is not None)
     observer.sweep_started(len(specs))
 
     rows_by_index: dict[int, list[dict]] = {}
@@ -754,6 +840,7 @@ def run_sweep(
         stats.worker_busy_seconds[pid] = (
             stats.worker_busy_seconds.get(pid, 0.0) + elapsed
         )
+        observer.worker_heartbeat(pid, work[0], work[1], elapsed)
         if from_worker:
             # Pool workers accumulate into their own (forked) process
             # meter, which dies with them; fold their shipped delta
@@ -799,6 +886,12 @@ def run_sweep(
         stats.workers = workers
         exec_started = time.perf_counter()
         if workers > 1:
+            # The pool consumes the whole pending list up front, so
+            # every point "starts" (enters the execution section) now,
+            # in spec order — per-worker start instants are not
+            # observable from the parent.
+            for index, spec in pending:
+                observer.point_started(index, spec)
             with _pool_context().Pool(workers) as pool:
                 for result in pool.imap_unordered(
                     _execute_indexed, pending
@@ -806,6 +899,7 @@ def run_sweep(
                     settle(*result, True)
         else:
             for item in pending:
+                observer.point_started(*item)
                 settle(*_execute_indexed(item), False)
         stats.exec_wall_seconds = time.perf_counter() - exec_started
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from typing import TYPE_CHECKING
 
 from repro.faults.campaign import (
     DEFAULT_CLASSES,
@@ -25,6 +26,9 @@ from repro.faults.spec import (
     compile_schedule,
     parse_fault_spec,
 )
+
+if TYPE_CHECKING:
+    from repro.experiments.common import ExperimentResult
 
 __all__ = ["main"]
 
@@ -88,6 +92,12 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument(
         "--jobs", type=int, default=None, help="worker count"
     )
+    campaign.add_argument(
+        "--ledger",
+        action="store_true",
+        help="record the campaign sweep to a run ledger under "
+        "results/obs/ (inspect with `python -m repro.obs`)",
+    )
 
     plan = subparsers.add_parser(
         "plan",
@@ -117,7 +127,28 @@ def main(argv: list[str] | None = None) -> int:
             print(json.dumps(event.key(), sort_keys=True))
         return 0
 
-    result = run_campaign(
+    from repro.util import env
+
+    if args.ledger or env.flag("REPRO_OBS"):
+        # The campaign driver calls run_sweep without an observer, so
+        # the ledger attaches through the runner's default-observer
+        # slot (restored on the way out, crash or not).
+        from repro.experiments import runner
+        from repro.obs.ledger import LedgerObserver
+
+        runner.set_default_observer(LedgerObserver())
+        try:
+            result = _run_campaign(args)
+        finally:
+            runner.set_default_observer(None)
+    else:
+        result = _run_campaign(args)
+    print(render_campaign(result))
+    return 0
+
+
+def _run_campaign(args: argparse.Namespace) -> "ExperimentResult":
+    return run_campaign(
         classes=args.classes,
         rates=args.rates,
         pattern=args.pattern,
@@ -128,8 +159,6 @@ def main(argv: list[str] | None = None) -> int:
         window=args.window,
         jobs=args.jobs,
     )
-    print(render_campaign(result))
-    return 0
 
 
 if __name__ == "__main__":

@@ -1,0 +1,132 @@
+"""``python -m repro.obs`` — inspect recorded campaign runs.
+
+Subcommands::
+
+    ls                      list runs under the obs root
+    status [RUN] [--follow] render live progress for a run
+    report [RUN] [--json]   artifact-joined rollup + report.json
+
+``RUN`` may be a run-directory path, a ``ledger.jsonl`` path, an exact
+run-directory name, or a unique run-id prefix; omitted, the most
+recently written run is used — so ``python -m repro.obs status
+--follow`` in one terminal tails the sweep another terminal just
+started.  Exit codes: 0 on success, 1 for an unresolvable run
+reference, 2 for argparse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.obs import ledger as ledger_mod
+from repro.obs.ledger import LEDGER_NAME, read_ledger
+from repro.obs.report import render_report, write_report
+from repro.obs.status import (
+    render_ls,
+    render_status,
+    replay,
+    resolve_run,
+)
+
+#: ``--follow`` re-render period, seconds.
+_FOLLOW_INTERVAL = 1.0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect campaign run ledgers (see docs/obs.md).",
+    )
+    parser.add_argument(
+        "--dir",
+        default=None,
+        help="obs root to search (default: $REPRO_OBS_DIR or results/obs)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("ls", help="list recorded runs")
+
+    status = sub.add_parser(
+        "status", help="render progress for one run"
+    )
+    status.add_argument(
+        "run", nargs="?", default=None, help="run dir/name/prefix"
+    )
+    status.add_argument(
+        "--follow",
+        action="store_true",
+        help="re-render until the run finishes (tails a live ledger)",
+    )
+    status.add_argument(
+        "--interval",
+        type=float,
+        default=_FOLLOW_INTERVAL,
+        help="--follow refresh period in seconds",
+    )
+
+    report = sub.add_parser(
+        "report", help="artifact-joined rollup for one run"
+    )
+    report.add_argument(
+        "run", nargs="?", default=None, help="run dir/name/prefix"
+    )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report document instead of the table",
+    )
+
+    args = parser.parse_args(argv)
+    root = args.dir if args.dir is not None else ledger_mod.default_dir()
+
+    if args.command == "ls":
+        print(render_ls(root))
+        return 0
+
+    run_dir = resolve_run(args.run, root)
+    if run_dir is None:
+        ref = args.run or "<latest>"
+        print(
+            f"obs: no run matching {ref!r} under {root}",
+            file=sys.stderr,
+        )
+        return 1
+
+    if args.command == "status":
+        return _status(run_dir, args.follow, args.interval)
+
+    report_doc, out = write_report(run_dir)
+    if args.json:
+        print(json.dumps(report_doc, indent=2, sort_keys=True))
+    else:
+        print(render_report(report_doc))
+        print(f"report: {out}")
+    return 0
+
+
+def _status(run_dir: object, follow: bool, interval: float) -> int:
+    """Render once, or repeatedly until the ledger reports finished."""
+    from pathlib import Path
+
+    ledger = Path(str(run_dir)) / LEDGER_NAME
+    while True:
+        events, warnings = read_ledger(ledger)
+        state = replay(events, warnings)
+        text = render_status(state)
+        if follow and not state.finished:
+            # Clear-and-home keeps the block stable on ANSI terminals;
+            # piped output just sees successive blocks.
+            if sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(text, flush=True)
+            time.sleep(max(0.1, interval))
+            continue
+        print(text)
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,197 @@
+"""Artifact-directory scanning and artifact readers for the rollup.
+
+Three subsystems drop per-point files into ``results/`` directories
+while a sweep runs: telemetry (``*.timeseries.json``, ``*.trace.json``,
+``*.summary.txt``), perf (``*.perf.json``, ``*.pstats``,
+``*.folded.txt``), and the ledger itself.  :class:`ArtifactScanner` is
+the one implementation of "which files appeared since I last looked" —
+:class:`repro.telemetry.observer.TelemetryObserver`,
+:class:`repro.perf.observer.PerfObserver`, and the run ledger all scan
+through it, so a new artifact suffix only has to be taught in one
+place.
+
+The module also holds the readers the campaign rollup
+(:mod:`repro.obs.report`) uses to *join* a ledger with the artifacts
+its points recorded.  Every reader degrades gracefully: a missing,
+truncated, or schema-foreign file yields ``None``, never an exception,
+because a rollup over an interrupted campaign must still render the
+points that did complete.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+__all__ = [
+    "TELEMETRY_SUFFIXES",
+    "PERF_SUFFIXES",
+    "ArtifactScanner",
+    "classify_artifact",
+    "next_flush_ref",
+    "read_json_artifact",
+    "sleep_fractions",
+]
+
+#: File suffixes the telemetry hub's ``flush`` produces.
+TELEMETRY_SUFFIXES: tuple[str, ...] = (
+    ".timeseries.json",
+    ".trace.json",
+    ".summary.txt",
+)
+
+#: File suffixes the phase profiler's ``flush`` produces.
+PERF_SUFFIXES: tuple[str, ...] = (".perf.json", ".pstats", ".folded.txt")
+
+#: Suffix → artifact kind, most specific first (``.timeseries.json``
+#: must win over a hypothetical bare ``.json`` entry).
+_KINDS: tuple[tuple[str, str], ...] = (
+    (".timeseries.json", "telemetry-timeseries"),
+    (".trace.json", "telemetry-trace"),
+    (".summary.txt", "telemetry-summary"),
+    (".perf.json", "perf-profile"),
+    (".pstats", "perf-pstats"),
+    (".folded.txt", "perf-folded"),
+)
+
+
+class ArtifactScanner:
+    """Tracks fresh artifact files appearing in one directory.
+
+    ``fresh()`` returns the paths of matching files that appeared since
+    the previous call (or since :meth:`prime`), sorted by name so the
+    report order is deterministic.  A directory that does not exist yet
+    simply scans empty — subsystems create their directories lazily on
+    first flush.
+    """
+
+    def __init__(
+        self, directory: str, suffixes: tuple[str, ...]
+    ) -> None:
+        self.directory = directory
+        self.suffixes = suffixes
+        self._known: set[str] = set()
+
+    def scan(self) -> list[str]:
+        """All matching file names currently present, sorted."""
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return []
+        return sorted(
+            name for name in names if name.endswith(self.suffixes)
+        )
+
+    def prime(self) -> None:
+        """Mark everything currently present as already known.
+
+        Pre-existing artifacts belong to earlier runs; callers prime at
+        sweep start so only this sweep's output is reported.
+        """
+        self._known.update(self.scan())
+
+    def fresh(self) -> list[str]:
+        """Paths of files that appeared since the last look, sorted."""
+        paths: list[str] = []
+        for name in self.scan():
+            if name in self._known:
+                continue
+            self._known.add(name)
+            paths.append(os.path.join(self.directory, name))
+        return paths
+
+
+#: Process-wide flush counts per artifact-stem prefix; see
+#: :func:`next_flush_ref`.
+_FLUSH_REFS: dict[str, int] = {}
+
+
+def next_flush_ref(prefix: str) -> int:
+    """Next free ``-r<n>`` suffix for ``prefix`` in this process.
+
+    Telemetry hubs and phase profilers name their artifacts
+    ``{config}-s{seed}-p{pid}-r{n}``.  The ``r`` counter must be
+    process-wide, not per-writer-instance: a sweep probing two loads
+    of one configuration builds two fabrics (each with its own hub or
+    profiler) in the same process, and per-instance counters would
+    both pick ``r0`` — the second flush silently overwriting the
+    first's artifacts.  Forked pool workers inherit a copy of the
+    table, but their pid lands in the prefix, so inherited entries are
+    merely unused.
+    """
+    ref = _FLUSH_REFS.get(prefix, 0)
+    _FLUSH_REFS[prefix] = ref + 1
+    return ref
+
+
+def classify_artifact(path: str) -> str:
+    """Artifact kind for ``path`` (``"other"`` when unrecognized)."""
+    for suffix, kind in _KINDS:
+        if path.endswith(suffix):
+            return kind
+    return "other"
+
+
+def read_json_artifact(path: str) -> dict[str, object] | None:
+    """Parse a JSON artifact; ``None`` on any read or parse failure."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    return doc if isinstance(doc, dict) else None
+
+
+def sleep_fractions(path: str) -> list[float] | None:
+    """Per-subnet sleep fraction from a ``*.timeseries.json`` artifact.
+
+    The telemetry summary records exact per-subnet sleep cycles
+    (reconciled against ``GatingStats``); dividing by routers-per-
+    subnet × simulated cycles gives the fraction of router-cycles each
+    subnet spent power-gated — the quantity the energy-proportionality
+    rollup plots against offered load.  Returns ``None`` when the file
+    is missing/corrupt or carries no usable occupancy data.
+    """
+    doc = read_json_artifact(path)
+    if doc is None:
+        return None
+    summary = doc.get("summary")
+    series = doc.get("series")
+    if not isinstance(summary, dict) or not isinstance(series, dict):
+        return None
+    sleep_cycles = summary.get("sleep_cycles_by_subnet")
+    cycles = summary.get("cycles")
+    if not isinstance(sleep_cycles, list) or not isinstance(cycles, int):
+        return None
+    if cycles <= 0:
+        return None
+    routers = _routers_per_subnet(series)
+    if routers is None or routers <= 0:
+        return None
+    fractions: list[float] = []
+    for total in sleep_cycles:
+        if not isinstance(total, (int, float)):
+            return None
+        fractions.append(float(total) / (routers * cycles))
+    return fractions
+
+
+def _routers_per_subnet(series: dict[str, object]) -> int | None:
+    """Router count per subnet from the first occupancy sample."""
+    subnets = series.get("subnets")
+    if not isinstance(subnets, list) or not subnets:
+        return None
+    first = subnets[0]
+    if not isinstance(first, dict):
+        return None
+    total = 0
+    for key in ("active", "sleep", "wakeup"):
+        column = first.get(key)
+        if (
+            not isinstance(column, list)
+            or not column
+            or not isinstance(column[0], int)
+        ):
+            return None
+        total += column[0]
+    return total

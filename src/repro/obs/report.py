@@ -1,0 +1,283 @@
+"""Campaign rollup: join a run ledger with its per-point artifacts.
+
+The ledger records *that* each point ran (and a compact row summary);
+telemetry artifacts record *how* the fabric behaved while it ran.
+:func:`build_report` joins the two into the campaign-level view the
+paper argues from — per-subnet sleep fraction against offered load
+(energy proportionality), power split into static/dynamic, and, when
+the fault layer was armed, survival columns — emitted both as an
+aligned table and as a machine-readable ``report.json``.
+
+Determinism contract: everything under the report's ``"rollup"`` key
+is a pure function of the simulated work, so two runs of the same
+sweep — serial vs parallel, cold vs warm cache — produce byte-identical
+rollups.  Execution-dependent facts (wall times, worker census,
+artifact paths, which points were cache hits) live under separate keys
+and are excluded from that guarantee.
+
+Missing artifacts degrade gracefully: a cache-hit point re-records no
+telemetry, an interrupted campaign leaves points unrun — both render
+as blank cells, never as errors.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.obs.artifacts import classify_artifact, sleep_fractions
+from repro.obs.ledger import (
+    LEDGER_NAME,
+    LEDGER_SCHEMA,
+    canonical_digest,
+    read_ledger,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "REPORT_NAME",
+    "build_report",
+    "render_report",
+    "write_report",
+]
+
+#: File name of the machine-readable rollup inside a run directory.
+REPORT_NAME = "report.json"
+
+#: row_summary keys copied verbatim into a rollup row when present.
+_METRIC_KEYS = (
+    "latency",
+    "throughput",
+    "power_w",
+    "dynamic_w",
+    "static_w",
+    "csc_pct",
+    "ipc",
+)
+
+#: Survival columns, present only when the fault layer produced them.
+_SURVIVAL_KEYS = (
+    "survival_rate",
+    "injected",
+    "masked",
+    "recovered",
+    "effective",
+    "fatal",
+)
+
+
+def build_report(run_dir: "Path | str") -> dict[str, Any]:
+    """Joined rollup document for one recorded run.
+
+    Always succeeds on a readable ledger — damaged lines, missing
+    artifacts, and unfinished sweeps all degrade to partial rows.
+    """
+    run_dir = Path(run_dir)
+    events, warnings = read_ledger(run_dir / LEDGER_NAME)
+    spec_index: list[dict[str, Any]] = []
+    header: dict[str, Any] = {}
+    outcomes: dict[int, dict[str, Any]] = {}
+    artifacts: dict[int, list[str]] = {}
+    finished: dict[str, Any] | None = None
+    prefix: list[dict[str, Any]] = []
+    for event in events:
+        kind = event.get("event")
+        if kind == "sweep_started" and not header:
+            header = event
+            index = event.get("spec_index")
+            if isinstance(index, list):
+                spec_index = [
+                    entry for entry in index if isinstance(entry, dict)
+                ]
+        elif kind in ("point_finished", "cache_hit", "point_failed"):
+            point = event.get("index")
+            if isinstance(point, int):
+                outcomes[point] = event
+                paths = event.get("artifacts")
+                if isinstance(paths, list):
+                    artifacts[point] = [str(p) for p in paths]
+        elif kind == "sweep_finished" and finished is None:
+            finished = event
+        if finished is None:
+            prefix.append(event)
+
+    rows = [
+        _rollup_row(entry, outcomes, artifacts)
+        for entry in spec_index
+    ]
+    failed = sorted(
+        point
+        for point, event in outcomes.items()
+        if event.get("event") == "point_failed"
+    )
+    stats = (finished or {}).get("stats")
+    return {
+        "schema": LEDGER_SCHEMA,
+        "run_id": header.get("run_id"),
+        "finished": finished is not None,
+        # Deterministic across serial/parallel and cold/warm runs.
+        "rollup": {
+            "total": header.get("total"),
+            "rows": rows,
+            "failed": failed,
+            "digest": canonical_digest(prefix),
+        },
+        # Execution-dependent; excluded from the determinism contract.
+        "execution": {
+            "jobs": header.get("jobs"),
+            "cache": header.get("cache"),
+            "stats": stats if isinstance(stats, dict) else None,
+        },
+        "artifacts": {
+            str(point): [
+                {"path": path, "kind": classify_artifact(path)}
+                for path in artifacts[point]
+            ]
+            for point in sorted(artifacts)
+        },
+        "warnings": warnings,
+    }
+
+
+def _rollup_row(
+    entry: dict[str, Any],
+    outcomes: dict[int, dict[str, Any]],
+    artifacts: dict[int, list[str]],
+) -> dict[str, Any]:
+    """One deterministic rollup row for one sweep point."""
+    index = entry.get("index")
+    index = index if isinstance(index, int) else -1
+    row: dict[str, Any] = {
+        "index": index,
+        "config": entry.get("config"),
+        "pattern": entry.get("pattern"),
+        "load": entry.get("load"),
+        "seed": entry.get("seed"),
+        "kind": entry.get("kind"),
+    }
+    outcome = outcomes.get(index)
+    if outcome is None:
+        row["status"] = "missing"
+        return row
+    kind = outcome.get("event")
+    if kind == "point_failed":
+        row["status"] = "failed"
+        return row
+    # Cache hits recorded the same rows the original execution did, so
+    # they are "ok" for rollup purposes (their hit/miss nature is an
+    # execution fact, recorded under the report's "execution" key).
+    row["status"] = "ok"
+    summary = outcome.get("row_summary")
+    if isinstance(summary, dict):
+        for key in _METRIC_KEYS:
+            if key in summary:
+                row[key] = summary[key]
+        for key in _SURVIVAL_KEYS:
+            if key in summary:
+                row[key] = summary[key]
+    row["sleep_frac"] = _sleep_for(artifacts.get(index, []))
+    return row
+
+
+def _sleep_for(paths: list[str]) -> list[float] | None:
+    """Per-subnet sleep fractions from a point's telemetry artifact."""
+    for path in paths:
+        if classify_artifact(path) != "telemetry-timeseries":
+            continue
+        fractions = sleep_fractions(path)
+        if fractions is not None:
+            return [round(f, 6) for f in fractions]
+    return None
+
+
+def render_report(report: dict[str, Any]) -> str:
+    """Aligned-table rendering of one :func:`build_report` document."""
+    rollup = report.get("rollup")
+    rows = rollup.get("rows") if isinstance(rollup, dict) else None
+    if not isinstance(rows, list) or not rows:
+        return f"run {report.get('run_id') or '?'}: nothing recorded"
+    display: list[dict[str, object]] = []
+    any_survival = any(
+        isinstance(r, dict) and "survival_rate" in r for r in rows
+    )
+    for raw in rows:
+        if not isinstance(raw, dict):
+            continue
+        cell: dict[str, object] = {
+            "config": raw.get("config") or "",
+            "pattern": raw.get("pattern") or "",
+            "load": _blank(raw.get("load")),
+            "status": raw.get("status") or "",
+            "latency": _blank(raw.get("latency")),
+            "power_w": _blank(raw.get("power_w")),
+            "static_w": _blank(raw.get("static_w")),
+            "csc_pct": _blank(raw.get("csc_pct")),
+            "sleep_frac": _sleep_cell(raw.get("sleep_frac")),
+        }
+        if any_survival:
+            cell["survival"] = _blank(raw.get("survival_rate"))
+            cell["fatal"] = _blank(raw.get("fatal"))
+        display.append(cell)
+    columns = [
+        "config",
+        "pattern",
+        "load",
+        "status",
+        "latency",
+        "power_w",
+        "static_w",
+        "csc_pct",
+        "sleep_frac",
+    ]
+    if any_survival:
+        columns += ["survival", "fatal"]
+    lines = [
+        format_table(
+            display,
+            columns=columns,
+            title=(
+                f"campaign rollup — run {report.get('run_id') or '?'}"
+            ),
+        )
+    ]
+    digest = (
+        rollup.get("digest") if isinstance(rollup, dict) else None
+    )
+    if isinstance(digest, str):
+        lines.append(f"ledger digest: {digest}")
+    warnings = report.get("warnings")
+    if isinstance(warnings, list):
+        lines.extend(f"warning: {w}" for w in warnings)
+    return "\n".join(lines)
+
+
+def write_report(run_dir: "Path | str") -> tuple[dict[str, Any], Path]:
+    """Build and persist ``report.json`` next to the run's ledger."""
+    run_dir = Path(run_dir)
+    report = build_report(run_dir)
+    out = run_dir / REPORT_NAME
+    run_dir.mkdir(parents=True, exist_ok=True)
+    out.write_text(
+        json.dumps(report, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return report, out
+
+
+def _blank(value: object) -> object:
+    """Table cell: missing metrics render as blanks, not ``None``."""
+    return "" if value is None else value
+
+
+def _sleep_cell(value: object) -> str:
+    """``0.42/0.87`` per-subnet sleep cell (blank when unavailable)."""
+    if not isinstance(value, list) or not value:
+        return ""
+    parts: list[str] = []
+    for fraction in value:
+        if isinstance(fraction, (int, float)):
+            parts.append(f"{float(fraction):.2f}")
+        else:
+            return ""
+    return "/".join(parts)

@@ -6,21 +6,23 @@ sees the profiler objects themselves — only the files they flush.
 :class:`PerfObserver` plugs into the sweep observer chain and reports
 every profile artifact that appears in the perf directory while a
 sweep runs, mirroring :class:`repro.telemetry.observer.TelemetryObserver`.
+
+Directory scanning lives in
+:class:`repro.obs.artifacts.ArtifactScanner`, shared with the
+telemetry observer and the run ledger so all three agree on what
+counts as a profile artifact.
 """
 
 from __future__ import annotations
 
-import os
 from typing import Any, TextIO
 
 from repro.experiments.runner import SweepObserver, SweepStats
+from repro.obs.artifacts import PERF_SUFFIXES, ArtifactScanner
 from repro.perf.profiler import DEFAULT_DIR
 from repro.util import env
 
 __all__ = ["PerfObserver"]
-
-#: File suffixes the profiler's ``flush`` produces.
-_ARTIFACT_SUFFIXES = (".perf.json", ".pstats", ".folded.txt")
 
 
 class PerfObserver(SweepObserver):
@@ -32,28 +34,15 @@ class PerfObserver(SweepObserver):
         import sys
 
         self.directory = directory or env.text("REPRO_PERF_DIR", DEFAULT_DIR)
-        self.stream = stream if stream is not None else sys.stderr
-        self._known: set[str] = set()
+        self.stream: TextIO = (
+            stream if stream is not None else sys.stderr
+        )
+        self._scanner = ArtifactScanner(self.directory, PERF_SUFFIXES)
         #: Every artifact path reported so far, in report order.
         self.reported: list[str] = []
 
-    def _scan(self) -> list[str]:
-        try:
-            names = os.listdir(self.directory)
-        except OSError:
-            return []
-        return sorted(
-            name
-            for name in names
-            if name.endswith(_ARTIFACT_SUFFIXES)
-        )
-
     def _report_fresh(self) -> None:
-        for name in self._scan():
-            if name in self._known:
-                continue
-            self._known.add(name)
-            path = os.path.join(self.directory, name)
+        for path in self._scanner.fresh():
             self.reported.append(path)
             print(f"  perf: {path}", file=self.stream)
 
@@ -61,13 +50,13 @@ class PerfObserver(SweepObserver):
     def sweep_started(self, total: int) -> None:
         # Pre-existing artifacts belong to earlier runs; only report
         # what this sweep produces.
-        self._known.update(self._scan())
+        self._scanner.prime()
 
     def point_finished(
         self,
         index: int,
         spec: Any,
-        rows: list[dict],
+        rows: list[dict[str, Any]],
         elapsed: float,
         cached: bool,
     ) -> None:

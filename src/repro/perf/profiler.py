@@ -428,15 +428,20 @@ class PhaseProfiler:
 
         Files are named ``{config}-s{seed}-p{pid}-r{n}`` so parallel
         sweep workers and repeated flushes never collide (the same
-        convention as telemetry artifacts).
+        convention — and the same process-wide
+        :func:`repro.obs.artifacts.next_flush_ref` counter — as
+        telemetry artifacts; per-instance counters would overwrite
+        when one process profiles two same-config fabrics).
         """
+        from repro.obs.artifacts import next_flush_ref
+
         out_dir = self.out_dir if self.out_dir is not None else DEFAULT_DIR
         os.makedirs(out_dir, exist_ok=True)
         fabric = self.fabric
-        stem = (
-            f"{fabric.config.name}-s{fabric.seed}"
-            f"-p{os.getpid()}-r{self._flush_count}"
+        prefix = (
+            f"{fabric.config.name}-s{fabric.seed}-p{os.getpid()}"
         )
+        stem = f"{prefix}-r{next_flush_ref(prefix)}"
         self._flush_count += 1
         paths = {"profile": os.path.join(out_dir, f"{stem}.perf.json")}
         with open(paths["profile"], "w", encoding="utf-8") as handle:

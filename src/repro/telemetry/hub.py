@@ -528,15 +528,23 @@ class TelemetryHub:
         """Write the three telemetry artifacts; return their paths.
 
         Files are named ``{config}-s{seed}-p{pid}-r{n}`` so parallel
-        sweep workers and repeated flushes never collide.
+        sweep workers and repeated flushes never collide.  The ``r``
+        counter is process-wide
+        (:func:`repro.obs.artifacts.next_flush_ref`), not per-hub: two
+        fabrics with the same config and seed in one process (e.g. a
+        sweep probing two loads of one configuration) each get their
+        own hub, and per-instance counters would silently overwrite
+        the first fabric's artifacts with the second's.
         """
+        from repro.obs.artifacts import next_flush_ref
+
         out_dir = self.out_dir if self.out_dir is not None else DEFAULT_DIR
         os.makedirs(out_dir, exist_ok=True)
         fabric = self.fabric
-        stem = (
-            f"{fabric.config.name}-s{fabric.seed}"
-            f"-p{os.getpid()}-r{self._flush_count}"
+        prefix = (
+            f"{fabric.config.name}-s{fabric.seed}-p{os.getpid()}"
         )
+        stem = f"{prefix}-r{next_flush_ref(prefix)}"
         self._flush_count += 1
         paths = {
             "timeseries": os.path.join(

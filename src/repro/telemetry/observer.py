@@ -7,20 +7,21 @@ never sees the hub objects themselves — only the files they flush.
 reports every artifact that appears in the telemetry directory while
 a sweep runs, giving ``--telemetry`` runs a per-point line that says
 where each trace landed.
+
+Directory scanning lives in
+:class:`repro.obs.artifacts.ArtifactScanner`, shared with
+:class:`repro.perf.observer.PerfObserver` and the run ledger so all
+three agree on what counts as a telemetry artifact.
 """
 
 from __future__ import annotations
 
-import os
-
 from repro.experiments.runner import SweepObserver, SweepStats
+from repro.obs.artifacts import TELEMETRY_SUFFIXES, ArtifactScanner
 from repro.telemetry.hub import DEFAULT_DIR
 from repro.util import env
 
 __all__ = ["TelemetryObserver"]
-
-#: File suffixes the hub's ``flush`` produces.
-_ARTIFACT_SUFFIXES = (".timeseries.json", ".trace.json", ".summary.txt")
 
 
 class TelemetryObserver(SweepObserver):
@@ -35,27 +36,14 @@ class TelemetryObserver(SweepObserver):
             "REPRO_TELEMETRY_DIR", DEFAULT_DIR
         )
         self.stream = stream if stream is not None else sys.stderr
-        self._known: set[str] = set()
+        self._scanner = ArtifactScanner(
+            self.directory, TELEMETRY_SUFFIXES
+        )
         #: Every artifact path reported so far, in report order.
         self.reported: list[str] = []
 
-    def _scan(self) -> list[str]:
-        try:
-            names = os.listdir(self.directory)
-        except OSError:
-            return []
-        return sorted(
-            name
-            for name in names
-            if name.endswith(_ARTIFACT_SUFFIXES)
-        )
-
     def _report_fresh(self) -> None:
-        for name in self._scan():
-            if name in self._known:
-                continue
-            self._known.add(name)
-            path = os.path.join(self.directory, name)
+        for path in self._scanner.fresh():
             self.reported.append(path)
             print(f"  telemetry: {path}", file=self.stream)
 
@@ -63,7 +51,7 @@ class TelemetryObserver(SweepObserver):
     def sweep_started(self, total: int) -> None:
         # Pre-existing artifacts belong to earlier runs; only report
         # what this sweep produces.
-        self._known.update(self._scan())
+        self._scanner.prime()
 
     def point_finished(self, index, spec, rows, elapsed, cached) -> None:
         self._report_fresh()

@@ -142,6 +142,16 @@ _register(EnvVar(
     "additionally capture a deterministic cProfile per step",
 ))
 
+# -- campaign observability --------------------------------------------
+_register(EnvVar(
+    "REPRO_OBS", "flag", "unset", "obs.md",
+    "attach the run-ledger observer to every sweep",
+))
+_register(EnvVar(
+    "REPRO_OBS_DIR", "path", "results/obs", "obs.md",
+    "run-ledger output directory (one subdirectory per run)",
+))
+
 # -- benchmark harness -------------------------------------------------
 _register(EnvVar(
     "REPRO_BENCH_SCALE", "float", "0.35", "perf.md",
