@@ -13,7 +13,7 @@ that no single-file pass can see —
     unwinding ``reversed(self._saved)``, direct assigns by deleting or
     re-assigning the name.  Attach *order* is also checked: within one
     function, observers must attach in the documented order
-    perf → faults → checker → telemetry.
+    perf → faults → checker → telemetry → explain.
 ``SIM102``
     Backend conformance.  Every :class:`~repro.noc.backend.
     FabricBackend` subclass must override ``run`` and declare a
@@ -85,7 +85,7 @@ CONTRACT_RULES: dict[str, Rule] = {
             "give the observer a detach() that restores every shadowed "
             "name (unwind reversed(self._saved) for _shadow-based "
             "classes), and attach observers in the documented order "
-            "perf -> faults -> checker -> telemetry",
+            "perf -> faults -> checker -> telemetry -> explain",
         ),
         Rule(
             "SIM102",
@@ -130,7 +130,7 @@ SEAM_BEGIN = "<!-- backend-seams:begin -->"
 SEAM_END = "<!-- backend-seams:end -->"
 
 #: The documented observer attach order (SIM101), by subpackage.
-ATTACH_ORDER = ("perf", "faults", "analysis", "telemetry")
+ATTACH_ORDER = ("perf", "faults", "analysis", "telemetry", "explain")
 
 _ENV_TOKEN = re.compile(r"REPRO_[A-Z0-9_]+")
 #: A seam table row: the backticked name in the row's first column.
@@ -445,7 +445,7 @@ def _check_attach_order(
                     f"{cur[2]} ({ATTACH_ORDER[cur[1]]}) attaches after "
                     f"{prev[2]} ({ATTACH_ORDER[prev[1]]}), violating "
                     "the documented order perf -> faults -> checker "
-                    "-> telemetry",
+                    "-> telemetry -> explain",
                     _scope_of(fn),
                 )
             )

@@ -11,6 +11,7 @@ Usage::
     catnap-experiments fig06 --telemetry             # trace + time series
     catnap-experiments fig06 --perf                  # phase profile
     catnap-experiments fig06 --faults rate=0.001     # fault injection
+    catnap-experiments fig06 --explain               # latency/energy attribution
     catnap-experiments fig06 --backend skip          # skip-ahead kernel
     catnap-experiments analysis lint                 # static lint passes
 
@@ -338,6 +339,25 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for telemetry artifacts (implies --telemetry)",
     )
     parser.add_argument(
+        "--explain",
+        nargs="?",
+        const="1",
+        default=None,
+        metavar="SPEC",
+        help="run with REPRO_EXPLAIN=SPEC: every simulated fabric "
+        "attributes per-packet latency phases and per-subnet energy, "
+        "writing *.explain.json under results/explain/ "
+        "(see docs/explain.md); SPEC is '1' (both), 'latency', "
+        "'energy', or a comma list",
+    )
+    parser.add_argument(
+        "--explain-out",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="directory for attribution artifacts (implies --explain)",
+    )
+    parser.add_argument(
         "--perf",
         action="store_true",
         help="run with REPRO_PERF=1: every simulated fabric profiles "
@@ -445,6 +465,27 @@ def main(argv: list[str] | None = None) -> int:
         # --check).
         os.environ["REPRO_TELEMETRY"] = "1"
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.explain_out is not None:
+        os.environ["REPRO_EXPLAIN_DIR"] = str(args.explain_out)
+        if args.explain is None:
+            args.explain = "1"
+    if args.explain is not None:
+        # Validate here so a typo fails fast with a usage error rather
+        # than as one captured failure per sweep point (mirrors
+        # --faults).
+        from repro.explain.hub import parse_explain_spec
+
+        try:
+            parse_explain_spec(args.explain)
+        except ValueError as exc:
+            parser.error(f"--explain: {exc}")
+        # Environment (not a parameter) so forked sweep workers attach
+        # an attribution hub to every fabric they construct.  A cache
+        # hit would skip the simulation and silently produce no
+        # artifacts for that point, so caching is disabled wholesale
+        # (mirrors --check / --telemetry).
+        os.environ["REPRO_EXPLAIN"] = args.explain
+        os.environ["REPRO_NO_CACHE"] = "1"
     if args.perf_out is not None:
         os.environ["REPRO_PERF_DIR"] = str(args.perf_out)
         args.perf = True
@@ -470,6 +511,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.perf.observer import PerfObserver
 
         extra.append(PerfObserver())
+    if args.explain is not None:
+        from repro.explain.observer import ExplainObserver
+
+        extra.append(ExplainObserver())
     from repro.util import env
 
     if args.ledger or env.flag("REPRO_OBS"):

@@ -1,0 +1,6 @@
+"""Entry point for ``python -m repro.explain``."""
+
+from repro.explain.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

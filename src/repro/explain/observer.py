@@ -1,0 +1,62 @@
+"""Sweep-runner integration: report attribution artifacts per point.
+
+Explain hubs attach inside sweep worker processes (the fabric
+constructor reads ``REPRO_EXPLAIN``), so the parent CLI process never
+sees the hub objects — only the ``*.explain.json`` files they flush.
+:class:`ExplainObserver` plugs into the sweep observer chain and
+reports every artifact that appears in the explain directory while a
+sweep runs, mirroring :class:`repro.telemetry.observer.
+TelemetryObserver`.
+
+Directory scanning lives in
+:class:`repro.obs.artifacts.ArtifactScanner`, shared with the
+telemetry/perf observers and the run ledger so everyone agrees on
+what counts as an attribution artifact.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import SweepObserver, SweepStats
+from repro.explain.hub import DEFAULT_DIR
+from repro.obs.artifacts import EXPLAIN_SUFFIXES, ArtifactScanner
+from repro.util import env
+
+__all__ = ["ExplainObserver"]
+
+
+class ExplainObserver(SweepObserver):
+    """Announces new attribution artifacts as sweep points complete."""
+
+    def __init__(
+        self, directory: str | None = None, stream=None
+    ) -> None:
+        import sys
+
+        self.directory = directory or env.text(
+            "REPRO_EXPLAIN_DIR", DEFAULT_DIR
+        )
+        self.stream = stream if stream is not None else sys.stderr
+        self._scanner = ArtifactScanner(
+            self.directory, EXPLAIN_SUFFIXES
+        )
+        #: Every artifact path reported so far, in report order.
+        self.reported: list[str] = []
+
+    def _report_fresh(self) -> None:
+        for path in self._scanner.fresh():
+            self.reported.append(path)
+            print(f"  explain: {path}", file=self.stream)
+
+    # -- SweepObserver hooks ------------------------------------------
+    def sweep_started(self, total: int) -> None:
+        # Pre-existing artifacts belong to earlier runs; only report
+        # what this sweep produces.
+        self._scanner.prime()
+
+    def point_finished(self, index, spec, rows, elapsed, cached) -> None:
+        self._report_fresh()
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        # Parallel workers may flush after their point_finished record
+        # was consumed; catch any stragglers.
+        self._report_fresh()

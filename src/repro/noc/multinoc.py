@@ -163,6 +163,15 @@ class MultiNocFabric:
             from repro.telemetry.hub import TelemetryHub
 
             self.telemetry = TelemetryHub.from_env(self).attach()
+        # Attribution (repro.explain): attached LAST so the phase and
+        # energy decompositions observe post-fault, checked,
+        # telemetry-visible behaviour — and so the hub can merge its
+        # phase spans into the telemetry trace when both are on.
+        self.explain = None
+        if env.flag("REPRO_EXPLAIN"):
+            from repro.explain.hub import ExplainHub
+
+            self.explain = ExplainHub.from_env(self).attach()
 
     # ------------------------------------------------------------------
     # Plumbing

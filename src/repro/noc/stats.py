@@ -30,6 +30,10 @@ class NetworkStats:
         self.packets_offered = 0
         self.packets_received = 0
         self.flits_received = 0
+        # Packets reported received while still carrying a sentinel
+        # ``-1`` timestamp (created but never fully injected at run
+        # end); excluded from every latency statistic.
+        self.unfinished_packets = 0
         # Per-subnet hop counts over all received packets (routing
         # ground truth: under X-Y the mean equals the mean Manhattan
         # distance of the delivered traffic).
@@ -80,7 +84,16 @@ class NetworkStats:
             self.window_offered += 1
 
     def record_received(self, packet: Packet, cycle: int) -> None:
-        """A packet's tail flit was ejected at its destination."""
+        """A packet's tail flit was ejected at its destination.
+
+        A packet still carrying a sentinel ``-1`` timestamp was never
+        (fully) injected — it must not fold into the latency sums or
+        the percentile histogram, where a sentinel-derived negative
+        latency would silently land in bin 0.
+        """
+        if packet.injected_cycle < 0 or packet.received_cycle < 0:
+            self.unfinished_packets += 1
+            return
         self.packets_received += 1
         self.flits_received += packet.num_flits
         if 0 <= packet.subnet < self.num_subnets:

@@ -26,8 +26,10 @@ import os
 __all__ = [
     "TELEMETRY_SUFFIXES",
     "PERF_SUFFIXES",
+    "EXPLAIN_SUFFIXES",
     "ArtifactScanner",
     "classify_artifact",
+    "explain_tax",
     "next_flush_ref",
     "read_json_artifact",
     "sleep_fractions",
@@ -43,6 +45,9 @@ TELEMETRY_SUFFIXES: tuple[str, ...] = (
 #: File suffixes the phase profiler's ``flush`` produces.
 PERF_SUFFIXES: tuple[str, ...] = (".perf.json", ".pstats", ".folded.txt")
 
+#: File suffixes the attribution hub's ``flush`` produces.
+EXPLAIN_SUFFIXES: tuple[str, ...] = (".explain.json",)
+
 #: Suffix → artifact kind, most specific first (``.timeseries.json``
 #: must win over a hypothetical bare ``.json`` entry).
 _KINDS: tuple[tuple[str, str], ...] = (
@@ -52,6 +57,7 @@ _KINDS: tuple[tuple[str, str], ...] = (
     (".perf.json", "perf-profile"),
     (".pstats", "perf-pstats"),
     (".folded.txt", "perf-folded"),
+    (".explain.json", "explain-attribution"),
 )
 
 
@@ -174,6 +180,42 @@ def sleep_fractions(path: str) -> list[float] | None:
             return None
         fractions.append(float(total) / (routers * cycles))
     return fractions
+
+
+def explain_tax(
+    path: str,
+) -> tuple[list[float | None], list[float | None]] | None:
+    """Per-subnet attribution columns from a ``*.explain.json`` file.
+
+    Returns ``(energy_per_flit_j, mean_wakeup_stall)`` lists indexed
+    by subnet — the two columns the campaign rollup joins.  Entries
+    are ``None`` when that decomposition was disabled or the subnet
+    carried no flits; the whole result is ``None`` when the file is
+    missing, corrupt, or schema-foreign.
+    """
+    doc = read_json_artifact(path)
+    if doc is None or doc.get("schema") != "repro.explain/1":
+        return None
+    tax = doc.get("tax")
+    if not isinstance(tax, dict):
+        return None
+    rows = tax.get("per_subnet")
+    if not isinstance(rows, list) or not rows:
+        return None
+    per_flit: list[float | None] = []
+    stall: list[float | None] = []
+    for row in rows:
+        if not isinstance(row, dict):
+            return None
+        energy = row.get("energy_per_flit_j")
+        wakeup = row.get("mean_wakeup_stall")
+        per_flit.append(
+            float(energy) if isinstance(energy, (int, float)) else None
+        )
+        stall.append(
+            float(wakeup) if isinstance(wakeup, (int, float)) else None
+        )
+    return per_flit, stall
 
 
 def _routers_per_subnet(series: dict[str, object]) -> int | None:

@@ -45,6 +45,7 @@ from typing import IO, TYPE_CHECKING, Any
 
 from repro.experiments.runner import SweepObserver
 from repro.obs.artifacts import (
+    EXPLAIN_SUFFIXES,
     PERF_SUFFIXES,
     TELEMETRY_SUFFIXES,
     ArtifactScanner,
@@ -340,6 +341,15 @@ class LedgerObserver(SweepObserver):
             self._scanners.append(
                 ArtifactScanner(
                     env.text("REPRO_PERF_DIR", PERF_DIR), PERF_SUFFIXES
+                )
+            )
+        if env.flag("REPRO_EXPLAIN"):
+            from repro.explain.hub import DEFAULT_DIR as EXPLAIN_DIR
+
+            self._scanners.append(
+                ArtifactScanner(
+                    env.text("REPRO_EXPLAIN_DIR", EXPLAIN_DIR),
+                    EXPLAIN_SUFFIXES,
                 )
             )
         for scanner in self._scanners:

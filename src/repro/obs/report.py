@@ -26,7 +26,11 @@ import json
 from pathlib import Path
 from typing import Any
 
-from repro.obs.artifacts import classify_artifact, sleep_fractions
+from repro.obs.artifacts import (
+    classify_artifact,
+    explain_tax,
+    sleep_fractions,
+)
 from repro.obs.ledger import (
     LEDGER_NAME,
     LEDGER_SCHEMA,
@@ -177,6 +181,11 @@ def _rollup_row(
             if key in summary:
                 row[key] = summary[key]
     row["sleep_frac"] = _sleep_for(artifacts.get(index, []))
+    explain = _explain_for(artifacts.get(index, []))
+    if explain is not None:
+        # Keys appear only when the point recorded an attribution
+        # artifact, so non-explain rollups stay byte-identical.
+        row["energy_per_flit"], row["wakeup_tax"] = explain
     return row
 
 
@@ -191,6 +200,38 @@ def _sleep_for(paths: list[str]) -> list[float] | None:
     return None
 
 
+def _explain_for(
+    paths: list[str],
+) -> tuple[list[object], list[object]] | None:
+    """Per-subnet attribution columns from a point's explain artifact.
+
+    ``energy_per_flit`` is rendered in picojoules so the table cells
+    land in a readable range.  Mirrors the telemetry join: a missing
+    or unreadable artifact degrades to ``None``, never an error.
+    """
+    for path in paths:
+        if classify_artifact(path) != "explain-attribution":
+            continue
+        tax = explain_tax(path)
+        if tax is not None:
+            per_flit, stall = tax
+            return (
+                [
+                    round(value * 1e12, 6)
+                    if isinstance(value, float)
+                    else None
+                    for value in per_flit
+                ],
+                [
+                    round(value, 3)
+                    if isinstance(value, float)
+                    else None
+                    for value in stall
+                ],
+            )
+    return None
+
+
 def render_report(report: dict[str, Any]) -> str:
     """Aligned-table rendering of one :func:`build_report` document."""
     rollup = report.get("rollup")
@@ -200,6 +241,9 @@ def render_report(report: dict[str, Any]) -> str:
     display: list[dict[str, object]] = []
     any_survival = any(
         isinstance(r, dict) and "survival_rate" in r for r in rows
+    )
+    any_explain = any(
+        isinstance(r, dict) and "energy_per_flit" in r for r in rows
     )
     for raw in rows:
         if not isinstance(raw, dict):
@@ -218,6 +262,13 @@ def render_report(report: dict[str, Any]) -> str:
         if any_survival:
             cell["survival"] = _blank(raw.get("survival_rate"))
             cell["fatal"] = _blank(raw.get("fatal"))
+        if any_explain:
+            cell["epf_pj"] = _per_subnet_cell(
+                raw.get("energy_per_flit"), "{:.3f}"
+            )
+            cell["wakeup_tax"] = _per_subnet_cell(
+                raw.get("wakeup_tax"), "{:.2f}"
+            )
         display.append(cell)
     columns = [
         "config",
@@ -232,6 +283,8 @@ def render_report(report: dict[str, Any]) -> str:
     ]
     if any_survival:
         columns += ["survival", "fatal"]
+    if any_explain:
+        columns += ["epf_pj", "wakeup_tax"]
     lines = [
         format_table(
             display,
@@ -268,6 +321,19 @@ def write_report(run_dir: "Path | str") -> tuple[dict[str, Any], Path]:
 def _blank(value: object) -> object:
     """Table cell: missing metrics render as blanks, not ``None``."""
     return "" if value is None else value
+
+
+def _per_subnet_cell(value: object, pattern: str) -> str:
+    """``a/b`` per-subnet cell; ``-`` marks a subnet with no data."""
+    if not isinstance(value, list) or not value:
+        return ""
+    parts: list[str] = []
+    for entry in value:
+        if isinstance(entry, (int, float)):
+            parts.append(pattern.format(float(entry)))
+        else:
+            parts.append("-")
+    return "/".join(parts)
 
 
 def _sleep_cell(value: object) -> str:

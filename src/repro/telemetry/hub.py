@@ -125,6 +125,7 @@ class TelemetryHub:
         self.packet_records: list[dict[str, int]] = []
         self.packets_seen = 0
         self.truncated_packets = 0
+        self.unfinished_packets = 0
         self.ejected_per_subnet = [0] * num_subnets
         self.latency = BoundedHistogram()
         self._flush_count = 0
@@ -320,6 +321,12 @@ class TelemetryHub:
         return tap
 
     def _record_packet(self, packet: "Packet") -> None:
+        # A sentinel -1 timestamp marks a packet that never finished
+        # (e.g. drained at run end before its tail was injected); its
+        # negative pseudo-latency must not reach the histogram.
+        if packet.injected_cycle < 0 or packet.received_cycle < 0:
+            self.unfinished_packets += 1
+            return
         self.packets_seen += 1
         self.latency.record(packet.latency)
         if 0 <= packet.subnet < len(self.ejected_per_subnet):
@@ -444,6 +451,7 @@ class TelemetryHub:
             "packets_seen": self.packets_seen,
             "packet_records": len(self.packet_records),
             "truncated_packets": self.truncated_packets,
+            "unfinished_packets": self.unfinished_packets,
             "latency": self.latency.to_dict(),
             "wakeup_latency": self.wakeup_latency.to_dict(),
         }

@@ -128,6 +128,16 @@ _register(EnvVar(
     "per-fabric cap on fully-traced packets",
 ))
 
+# -- attribution -------------------------------------------------------
+_register(EnvVar(
+    "REPRO_EXPLAIN", "spec", "unset", "explain.md",
+    "attach the attribution hub: 1 (both), latency, or energy",
+))
+_register(EnvVar(
+    "REPRO_EXPLAIN_DIR", "path", "results/explain", "explain.md",
+    "attribution artifact output directory",
+))
+
 # -- simulator self-profiling ------------------------------------------
 _register(EnvVar(
     "REPRO_PERF", "flag", "unset", "perf.md",

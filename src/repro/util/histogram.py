@@ -49,9 +49,20 @@ class BoundedHistogram:
     # Recording
     # ------------------------------------------------------------------
     def record(self, value: int, weight: int = 1) -> None:
-        """Add ``value`` (negative values clamp to 0) ``weight`` times."""
+        """Add ``value`` ``weight`` times; negative values raise.
+
+        A negative sample is always a caller bug — typically a latency
+        computed from a sentinel ``-1`` timestamp of a packet that was
+        never injected or received.  Folding it into bin 0 would
+        silently skew percentiles, so it fails loudly instead; callers
+        must exclude unfinished packets before recording.
+        """
         if value < 0:
-            value = 0
+            raise ValueError(
+                f"negative histogram sample {value}; exclude "
+                "sentinel-timestamped (unfinished) packets before "
+                "recording"
+            )
         self.count += weight
         self.total += value * weight
         if value > self.max_value:

@@ -24,10 +24,12 @@ class TestRecording:
         assert hist.total == 21
         assert hist.percentile(1.0) == 7.0
 
-    def test_negative_values_clamp_to_zero(self):
+    def test_negative_values_raise(self):
         hist = BoundedHistogram()
-        hist.record(-5)
-        assert hist.count == 1
+        with pytest.raises(ValueError, match="negative histogram"):
+            hist.record(-5)
+        # The rejected sample must leave the histogram untouched.
+        assert hist.count == 0
         assert hist.total == 0
         assert hist.percentile(0.5) == 0.0
 
