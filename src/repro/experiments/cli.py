@@ -13,6 +13,7 @@ Usage::
     catnap-experiments fig06 --faults rate=0.001     # fault injection
     catnap-experiments fig06 --explain               # latency/energy attribution
     catnap-experiments fig06 --backend skip          # skip-ahead kernel
+    catnap-experiments ext_serving --workload llm:batch=8   # serving mix
     catnap-experiments analysis lint                 # static lint passes
 
 Each experiment prints its table to stdout and, with ``--out``, also
@@ -33,6 +34,7 @@ from pathlib import Path
 
 from repro.experiments import runner
 from repro.experiments.ablations import ABLATIONS
+from repro.experiments.ext_serving import run_ext_serving
 from repro.experiments.ext_specialization import run_ext_class_partition
 from repro.experiments.fig02_bandwidth import run_fig02
 from repro.experiments.fig06_subnet_scaling import run_fig06
@@ -70,6 +72,7 @@ EXPERIMENTS = {
     "fig13": run_fig13,
     "fig14": run_fig14,
     "ext_class_partition": run_ext_class_partition,
+    "ext_serving": run_ext_serving,
     **ABLATIONS,
 }
 
@@ -372,6 +375,14 @@ def main(argv: list[str] | None = None) -> int:
         help="directory for perf profile artifacts (implies --perf)",
     )
     parser.add_argument(
+        "--workload",
+        metavar="SPEC",
+        default=None,
+        help="run with REPRO_WORKLOADS=SPEC: the serving workload swept "
+        "by ext_serving (see docs/workloads.md), e.g. llm:batch=8 or "
+        "tenants:rates=0.1,0.05",
+    )
+    parser.add_argument(
         "--backend",
         metavar="NAME",
         default=None,
@@ -435,6 +446,19 @@ def main(argv: list[str] | None = None) -> int:
         # disabled wholesale (mirrors --check).
         os.environ["REPRO_FAULTS"] = args.faults
         os.environ["REPRO_NO_CACHE"] = "1"
+    if args.workload is not None:
+        # Validate here so a typo fails fast with a usage error rather
+        # than as one captured failure per sweep point (mirrors
+        # --faults).  Unlike observer flags this does NOT disable the
+        # cache: the canonical spec text lands in PointSpec.workload
+        # and is therefore already part of every cache key.
+        from repro.workloads.spec import parse_workload_spec
+
+        try:
+            parse_workload_spec(args.workload)
+        except ValueError as exc:
+            parser.error(f"--workload: {exc}")
+        os.environ["REPRO_WORKLOADS"] = args.workload
     if args.backend is not None:
         # Validate here so a typo fails fast with a usage error rather
         # than as one captured failure per sweep point (mirrors

@@ -1,0 +1,103 @@
+"""Extension: energy proportionality under a serving diurnal curve.
+
+Catnap's pitch is that a multi-NoC's power should track its load.  This
+extension measures exactly that under serving-shaped traffic from
+:mod:`repro.workloads`: a multi-tenant mix (``REPRO_WORKLOADS``, default
+three tenants at 6%/3%/1%) is replayed at every other hour of the
+default diurnal load curve, against both the power-gated 4-subnet
+multi-NoC and the gated single 512-bit NoC.  Each row reports network
+power next to offered load (the energy-proportionality story), the
+per-tenant p99 latency (the QoS story: does the light tenant suffer
+when the heavy one peaks?), and the per-subnet sleep fraction (the
+mechanism: subnets riding the trough asleep).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    DEFAULT_SEED,
+    ExperimentResult,
+    synthetic_phases,
+)
+from repro.experiments.runner import PointSpec, run_sweep
+from repro.noc.config import NocConfig
+from repro.util import env
+from repro.workloads.sources import DEFAULT_DIURNAL_SHAPE
+from repro.workloads.spec import DEFAULT_TENANT_MIX, parse_workload_spec
+
+__all__ = ["run_ext_serving", "SERVING_HOURS"]
+
+#: Hours of the diurnal curve sampled by the sweep (every other hour
+#: covers the trough, both ramps, and the evening peak in 12 points).
+SERVING_HOURS = tuple(range(0, 24, 2))
+
+
+def _configs() -> list[NocConfig]:
+    return [
+        NocConfig.multi_noc(4, power_gating=True),
+        NocConfig.single_noc_512(power_gating=True),
+    ]
+
+
+def _tenant_p99_cell(tenants: list[dict]) -> str:
+    if not tenants:
+        return "-"
+    return "/".join(f"{entry['latency_p99']:.0f}" for entry in tenants)
+
+
+def _sleep_cell(fractions: list[float]) -> str:
+    if not fractions:
+        return "-"
+    return "/".join(f"{fraction:.2f}" for fraction in fractions)
+
+
+def run_ext_serving(
+    scale: float = 1.0,
+    seed: int = DEFAULT_SEED,
+    workload: str | None = None,
+) -> ExperimentResult:
+    """Energy proportionality vs load over the diurnal serving curve."""
+    base_text = (
+        workload
+        if workload is not None
+        else env.text("REPRO_WORKLOADS", DEFAULT_TENANT_MIX)
+    )
+    base = parse_workload_spec(base_text)
+    if base.kind == "trace":
+        raise ValueError(
+            "ext_serving sweeps a generator workload over the diurnal "
+            "curve; trace replays cannot be load-scaled"
+        )
+    phases = synthetic_phases(scale)
+    result = ExperimentResult(
+        name="ext_serving",
+        title="Energy proportionality under a diurnal serving load",
+        columns=[
+            "hour", "load_mult", "config", "load", "latency",
+            "latency_p99", "tenant_p99", "power_w", "static_w",
+            "sleep_frac",
+        ],
+        notes=(
+            f"workload {base.to_text()} scaled by the hour-of-day "
+            "multiplier; tenant_p99 and sleep_frac list per-tenant / "
+            "per-subnet values"
+        ),
+    )
+    configs = _configs()
+    specs = [
+        PointSpec.serving(
+            config,
+            base.scaled(DEFAULT_DIURNAL_SHAPE[hour]).to_text(),
+            phases,
+            seed,
+            hour=hour,
+            load_mult=DEFAULT_DIURNAL_SHAPE[hour],
+        )
+        for hour in SERVING_HOURS
+        for config in configs
+    ]
+    for row in run_sweep(specs):
+        row["tenant_p99"] = _tenant_p99_cell(row.get("tenants") or [])
+        row["sleep_frac"] = _sleep_cell(row.get("sleep_frac") or [])
+        result.rows.append(row)
+    return result

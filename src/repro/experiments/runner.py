@@ -234,6 +234,45 @@ class PointSpec:
         )
 
     @classmethod
+    def serving(
+        cls,
+        config: NocConfig,
+        workload: str,
+        phases: SimulationPhases,
+        seed: int = DEFAULT_SEED,
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        **label,
+    ) -> "PointSpec":
+        """Serving-workload point (one row; :mod:`repro.workloads`).
+
+        ``workload`` is a ``--workload``-grammar spec string; it is
+        canonicalized here so different spellings of the same workload
+        share a cache entry.  For ``trace:`` workloads the trace file's
+        content hash is folded into ``params`` — replaying an edited
+        trace from the same path never reuses a stale cached row.
+        """
+        # Lazy import: workload-free sweeps never load the package.
+        from repro.workloads.spec import parse_workload_spec
+
+        spec = parse_workload_spec(workload)
+        params: tuple[tuple[str, object], ...] = ()
+        if spec.kind == "trace":
+            digest = hashlib.sha256(
+                Path(str(spec.get("path"))).read_bytes()
+            ).hexdigest()
+            params = (("trace_sha256", digest),)
+        return cls(
+            kind="workload",
+            config=config,
+            phases=phases,
+            seed=seed,
+            packet_bits=packet_bits,
+            workload=spec.to_text(),
+            params=params,
+            label=tuple(sorted(label.items())),
+        )
+
+    @classmethod
     def table02(cls) -> "PointSpec":
         """The fitted 32 nm voltage/frequency table (four rows)."""
         return cls(kind="table02")
@@ -382,6 +421,21 @@ def _run_fault(spec: PointSpec) -> list[dict]:
     return [row]
 
 
+def _run_workload(spec: PointSpec) -> list[dict]:
+    # Imported lazily, like the fault executor: workload-free sweeps
+    # never pay for the package.
+    from repro.workloads.point import run_serving_point
+
+    row = run_serving_point(
+        spec.config,
+        spec.workload,
+        spec.phases,
+        spec.seed,
+        spec.packet_bits,
+    )
+    return [row]
+
+
 def _run_table02(spec: PointSpec) -> list[dict]:
     return [
         {
@@ -401,6 +455,7 @@ _EXECUTORS = {
     "power": _run_power,
     "bursty": _run_bursty,
     "fault": _run_fault,
+    "workload": _run_workload,
     "table02": _run_table02,
 }
 

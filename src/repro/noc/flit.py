@@ -59,6 +59,10 @@ class Packet:
         Router-to-router link traversals of the head flit — under X-Y
         routing this equals the Manhattan distance between ``src`` and
         ``dst`` nodes (0 for tile pairs sharing a node).
+    tenant:
+        Originating tenant for multi-tenant serving workloads
+        (:mod:`repro.workloads`); -1 marks untagged traffic, which is
+        excluded from per-tenant QoS statistics.
     """
 
     src: int
@@ -71,6 +75,7 @@ class Packet:
     subnet: int = -1
     num_flits: int = 0
     hops: int = 0
+    tenant: int = -1
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
     #: Opaque payload for closed-loop system simulation (e.g. the
     #: transaction this message belongs to).

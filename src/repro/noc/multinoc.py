@@ -63,6 +63,10 @@ class FabricReport:
     #: Mean hop count of received packets per carrying subnet (X-Y
     #: routing ground truth; empty for analytic reports).
     avg_hops_per_subnet: list[float] = field(default_factory=list)
+    #: Per-tenant QoS rows (:meth:`repro.noc.stats.NetworkStats.
+    #: tenants_summary`), sorted by tenant id; empty unless a
+    #: multi-tenant serving workload tagged its packets.
+    tenants: list[dict] = field(default_factory=list)
 
     @property
     def csc_fraction(self) -> float:
@@ -302,4 +306,5 @@ class MultiNocFabric:
             latency_p95=self.stats.latency_percentile(0.95),
             latency_p99=self.stats.latency_percentile(0.99),
             avg_hops_per_subnet=self.stats.average_hops_per_subnet(),
+            tenants=self.stats.tenants_summary(),
         )

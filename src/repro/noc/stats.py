@@ -15,7 +15,39 @@ from __future__ import annotations
 from repro.noc.flit import Packet
 from repro.util.histogram import BoundedHistogram
 
-__all__ = ["NetworkStats"]
+__all__ = ["NetworkStats", "TenantStats"]
+
+
+class TenantStats:
+    """Per-tenant QoS accumulator (multi-tenant serving workloads).
+
+    Mirrors the window semantics of the fabric-wide counters: offered
+    packets count when handed to an NI inside the window, latency
+    samples attribute to the packet's *creation* cycle, and the bounded
+    histogram backs p50/p95/p99 without storing samples.
+    """
+
+    __slots__ = ("offered", "received", "latency_sum", "histogram")
+
+    def __init__(self) -> None:
+        self.offered = 0
+        self.received = 0
+        self.latency_sum = 0
+        self.histogram = BoundedHistogram()
+
+    def summary(self, tenant: int) -> dict:
+        """JSON-safe QoS row for one tenant."""
+        return {
+            "tenant": tenant,
+            "offered": self.offered,
+            "received": self.received,
+            "latency_avg": (
+                self.latency_sum / self.received if self.received else 0.0
+            ),
+            "latency_p50": self.histogram.percentile(0.50),
+            "latency_p95": self.histogram.percentile(0.95),
+            "latency_p99": self.histogram.percentile(0.99),
+        }
 
 
 class NetworkStats:
@@ -50,6 +82,10 @@ class NetworkStats:
         # (exact unit bins below 128 cycles, power-of-two tail), so
         # reports can carry p50/p95/p99 without storing samples.
         self.latency_histogram = BoundedHistogram()
+        # Lazily-populated per-tenant QoS accumulators, keyed by the
+        # packet's tenant tag; untagged traffic (tenant -1) never
+        # allocates an entry, so non-serving runs pay one comparison.
+        self.tenant_stats: dict[int, TenantStats] = {}
 
     # ------------------------------------------------------------------
     # Window control
@@ -77,11 +113,19 @@ class NetworkStats:
     # ------------------------------------------------------------------
     # Event recording
     # ------------------------------------------------------------------
+    def _tenant(self, tenant: int) -> TenantStats:
+        stats = self.tenant_stats.get(tenant)
+        if stats is None:
+            stats = self.tenant_stats[tenant] = TenantStats()
+        return stats
+
     def record_offered(self, packet: Packet, cycle: int) -> None:
         """A packet was handed to an NI."""
         self.packets_offered += 1
         if self._in_window(cycle):
             self.window_offered += 1
+            if packet.tenant >= 0:
+                self._tenant(packet.tenant).offered += 1
 
     def record_received(self, packet: Packet, cycle: int) -> None:
         """A packet's tail flit was ejected at its destination.
@@ -107,6 +151,11 @@ class NetworkStats:
             self.window_network_latency_sum += packet.network_latency
             self.window_latency_samples += 1
             self.latency_histogram.record(packet.latency)
+            if packet.tenant >= 0:
+                tenant = self._tenant(packet.tenant)
+                tenant.received += 1
+                tenant.latency_sum += packet.latency
+                tenant.histogram.record(packet.latency)
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -156,6 +205,13 @@ class NetworkStats:
         if not cycles:
             return 0.0
         return self.window_flits_received / (self.num_nodes * cycles)
+
+    def tenants_summary(self) -> list[dict]:
+        """Per-tenant QoS rows, sorted by tenant id (empty if untagged)."""
+        return [
+            self.tenant_stats[tenant].summary(tenant)
+            for tenant in sorted(self.tenant_stats)
+        ]
 
     def offered_rate(self) -> float:
         """Offered packets per node per cycle during the window."""

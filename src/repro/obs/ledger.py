@@ -95,6 +95,8 @@ _ROW_SUMMARY_KEYS = (
     "effective",
     "fatal",
     "ipc",
+    "tenants",
+    "sleep_frac",
 )
 
 

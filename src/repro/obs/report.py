@@ -180,13 +180,54 @@ def _rollup_row(
         for key in _SURVIVAL_KEYS:
             if key in summary:
                 row[key] = summary[key]
-    row["sleep_frac"] = _sleep_for(artifacts.get(index, []))
+    sleep = _sleep_for(artifacts.get(index, []))
+    if sleep is None and isinstance(summary, dict):
+        # Serving-workload rows carry per-subnet sleep fractions in the
+        # row summary itself; the telemetry artifact remains the
+        # preferred source when both exist.
+        sleep = _sleep_from_summary(summary.get("sleep_frac"))
+    row["sleep_frac"] = sleep
+    if isinstance(summary, dict):
+        tenant_p99 = _tenant_p99_from_summary(summary.get("tenants"))
+        if tenant_p99 is not None:
+            # Key appears only when the point measured tenants, so
+            # tenant-free rollups stay byte-identical.
+            row["tenant_p99"] = tenant_p99
     explain = _explain_for(artifacts.get(index, []))
     if explain is not None:
         # Keys appear only when the point recorded an attribution
         # artifact, so non-explain rollups stay byte-identical.
         row["energy_per_flit"], row["wakeup_tax"] = explain
     return row
+
+
+def _sleep_from_summary(value: object) -> list[float] | None:
+    """Per-subnet sleep fractions from a workload row summary."""
+    if not isinstance(value, list) or not value:
+        return None
+    fractions: list[float] = []
+    for entry in value:
+        if not isinstance(entry, (int, float)):
+            return None
+        fractions.append(round(float(entry), 6))
+    return fractions
+
+
+def _tenant_p99_from_summary(value: object) -> list[object] | None:
+    """Per-tenant p99 latency from a workload row summary.
+
+    ``None`` (no key emitted) unless the summary carries a non-empty
+    ``tenants`` list; a malformed entry degrades to a ``None`` cell.
+    """
+    if not isinstance(value, list) or not value:
+        return None
+    p99s: list[object] = []
+    for entry in value:
+        p99 = entry.get("latency_p99") if isinstance(entry, dict) else None
+        p99s.append(
+            round(float(p99), 3) if isinstance(p99, (int, float)) else None
+        )
+    return p99s
 
 
 def _sleep_for(paths: list[str]) -> list[float] | None:
@@ -245,6 +286,9 @@ def render_report(report: dict[str, Any]) -> str:
     any_explain = any(
         isinstance(r, dict) and "energy_per_flit" in r for r in rows
     )
+    any_tenants = any(
+        isinstance(r, dict) and "tenant_p99" in r for r in rows
+    )
     for raw in rows:
         if not isinstance(raw, dict):
             continue
@@ -269,6 +313,10 @@ def render_report(report: dict[str, Any]) -> str:
             cell["wakeup_tax"] = _per_subnet_cell(
                 raw.get("wakeup_tax"), "{:.2f}"
             )
+        if any_tenants:
+            cell["tenant_p99"] = _per_subnet_cell(
+                raw.get("tenant_p99"), "{:.0f}"
+            )
         display.append(cell)
     columns = [
         "config",
@@ -285,6 +333,8 @@ def render_report(report: dict[str, Any]) -> str:
         columns += ["survival", "fatal"]
     if any_explain:
         columns += ["epf_pj", "wakeup_tax"]
+    if any_tenants:
+        columns += ["tenant_p99"]
     lines = [
         format_table(
             display,

@@ -9,7 +9,13 @@ generator that produced them and enables apples-to-apples comparisons
 of designs under the *identical* packet sequence.
 
 Traces serialize to a simple text format (one packet per line) so they
-can be stored alongside experiment results.
+can be stored alongside experiment results.  Version 1 files start
+with a ``#catnap-trace v1`` header; each line carries five mandatory
+integer fields (``cycle src dst size_bits message_class``) and an
+optional sixth (``tenant``).  Malformed input fails loudly with the
+offending line number.  For traces of millions of packets use the
+chunked binary format in :mod:`repro.workloads.stream`, which replays
+under bounded memory.
 """
 
 from __future__ import annotations
@@ -17,10 +23,22 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from repro.noc.backend import NEVER
 from repro.noc.flit import Packet
 from repro.noc.multinoc import MultiNocFabric
 
-__all__ = ["TraceRecord", "TrafficTrace", "RecordingSource", "TraceSource"]
+__all__ = [
+    "TRACE_TEXT_VERSION",
+    "TraceRecord",
+    "TrafficTrace",
+    "RecordingSource",
+    "TraceSource",
+]
+
+#: Version written by :meth:`TrafficTrace.save` (``#catnap-trace v1``).
+TRACE_TEXT_VERSION = 1
+
+_HEADER_PREFIX = "#catnap-trace"
 
 
 @dataclass(frozen=True)
@@ -32,6 +50,27 @@ class TraceRecord:
     dst: int
     size_bits: int
     message_class: int
+    #: Tenant tag for multi-tenant serving traffic (-1 = untagged).
+    tenant: int = -1
+
+    def validate(self) -> None:
+        """Raise :class:`ValueError` on any out-of-range field."""
+        if self.cycle < 0:
+            raise ValueError(f"cycle must be >= 0, got {self.cycle}")
+        if self.src < 0 or self.dst < 0:
+            raise ValueError(
+                f"src/dst must be >= 0, got {self.src}/{self.dst}"
+            )
+        if self.size_bits <= 0:
+            raise ValueError(
+                f"size_bits must be positive, got {self.size_bits}"
+            )
+        if self.message_class < 0:
+            raise ValueError(
+                f"message_class must be >= 0, got {self.message_class}"
+            )
+        if self.tenant < -1:
+            raise ValueError(f"tenant must be >= -1, got {self.tenant}")
 
 
 class TrafficTrace:
@@ -61,28 +100,67 @@ class TrafficTrace:
     # Serialization
     # ------------------------------------------------------------------
     def save(self, path: str | Path) -> None:
-        """Write the trace as one whitespace-separated line per packet."""
-        lines = [
-            f"{r.cycle} {r.src} {r.dst} {r.size_bits} {r.message_class}"
-            for r in self.records
-        ]
-        Path(path).write_text("\n".join(lines) + ("\n" if lines else ""))
+        """Write the trace with a version header, one line per packet.
+
+        Untagged records emit the classic five fields; records carrying
+        a tenant tag append it as a sixth field, so files of untagged
+        traffic stay byte-compatible with pre-versioned readers.
+        """
+        lines = [f"{_HEADER_PREFIX} v{TRACE_TEXT_VERSION}"]
+        for r in self.records:
+            line = f"{r.cycle} {r.src} {r.dst} {r.size_bits} {r.message_class}"
+            if r.tenant >= 0:
+                line += f" {r.tenant}"
+            lines.append(line)
+        Path(path).write_text("\n".join(lines) + "\n")
 
     @classmethod
     def load(cls, path: str | Path) -> "TrafficTrace":
-        """Read a trace written by :meth:`save`."""
+        """Read a trace written by :meth:`save`.
+
+        Accepts headerless (pre-version) files for backward
+        compatibility.  Every malformed line — wrong field count,
+        non-integer fields, out-of-range values, cycle-order
+        violations, or an unsupported header version — raises
+        :class:`ValueError` naming the offending line number.
+        """
         trace = cls()
         for lineno, line in enumerate(
             Path(path).read_text().splitlines(), start=1
         ):
             line = line.strip()
+            if line.startswith(_HEADER_PREFIX):
+                version = line[len(_HEADER_PREFIX):].strip()
+                if version != f"v{TRACE_TEXT_VERSION}":
+                    raise ValueError(
+                        f"unsupported trace version {version!r} on "
+                        f"line {lineno} (expected "
+                        f"'v{TRACE_TEXT_VERSION}')"
+                    )
+                continue
             if not line or line.startswith("#"):
                 continue
             parts = line.split()
-            if len(parts) != 5:
-                raise ValueError(f"malformed trace line {lineno}: {line!r}")
-            cycle, src, dst, bits, mc = (int(p) for p in parts)
-            trace.append(TraceRecord(cycle, src, dst, bits, mc))
+            if len(parts) not in (5, 6):
+                raise ValueError(
+                    f"malformed trace line {lineno}: expected 5 or 6 "
+                    f"fields, got {len(parts)}: {line!r}"
+                )
+            try:
+                fields = [int(p) for p in parts]
+            except ValueError:
+                raise ValueError(
+                    f"malformed trace line {lineno}: non-integer "
+                    f"field in {line!r}"
+                ) from None
+            record = TraceRecord(*fields)
+            try:
+                record.validate()
+                trace.append(record)
+            except ValueError as exc:
+                raise ValueError(
+                    f"malformed trace line {lineno}: {exc}"
+                ) from None
         return trace
 
 
@@ -99,6 +177,11 @@ class RecordingSource:
         self.inner = inner
         self.trace = TrafficTrace()
 
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Delegate the skip horizon to the wrapped source."""
+        probe = getattr(self.inner, "next_offer_cycle", None)
+        return probe(cycle) if probe is not None else cycle
+
     def step(self, cycle: int) -> None:
         """Run the inner source for one cycle, recording its packets."""
         original_offer = self.fabric.offer
@@ -111,6 +194,7 @@ class RecordingSource:
                     dst=packet.dst,
                     size_bits=packet.size_bits,
                     message_class=packet.message_class,
+                    tenant=packet.tenant,
                 )
             )
             original_offer(packet)
@@ -136,6 +220,18 @@ class TraceSource:
         """True once every record has been replayed."""
         return self._index >= len(self.trace.records)
 
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` with a pending record.
+
+        Between records (and after the last one) :meth:`step` returns
+        without side effects, so the skip backend may jump those spans
+        byte-identically.
+        """
+        records = self.trace.records
+        if self._index >= len(records):
+            return NEVER
+        return max(cycle, records[self._index].cycle)
+
     def step(self, cycle: int) -> None:
         """Offer every packet recorded for ``cycle``."""
         records = self.trace.records
@@ -148,6 +244,7 @@ class TraceSource:
                     dst=record.dst,
                     size_bits=record.size_bits,
                     message_class=record.message_class,
+                    tenant=record.tenant,
                 )
             )
             self.packets_generated += 1

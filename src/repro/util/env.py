@@ -162,6 +162,21 @@ _register(EnvVar(
     "run-ledger output directory (one subdirectory per run)",
 ))
 
+# -- serving workloads -------------------------------------------------
+_register(EnvVar(
+    "REPRO_WORKLOADS", "spec", "tenants:rates=0.06,0.03,0.01",
+    "workloads.md",
+    "serving workload spec swept by ext_serving (kind:key=value;...)",
+))
+_register(EnvVar(
+    "REPRO_WORKLOADS_DIR", "path", "results/workloads", "workloads.md",
+    "default output directory for recorded streaming traces",
+))
+_register(EnvVar(
+    "REPRO_WORKLOADS_CHUNK", "int", "65536", "workloads.md",
+    "records per compressed chunk in the streaming trace format",
+))
+
 # -- benchmark harness -------------------------------------------------
 _register(EnvVar(
     "REPRO_BENCH_SCALE", "float", "0.35", "perf.md",

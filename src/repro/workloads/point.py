@@ -1,0 +1,89 @@
+"""Sweep executor for ``kind="workload"`` points.
+
+Imported lazily by :mod:`repro.experiments.runner` (mirrors the fault
+executor): workload-free sweeps never load this package.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict
+
+from repro.noc.config import SYNTHETIC_PACKET_BITS, NocConfig
+from repro.noc.multinoc import FabricReport, MultiNocFabric
+from repro.noc.simulator import SimulationPhases, run_open_loop
+from repro.perf import meters
+from repro.power.network_power import compute_network_power
+from repro.workloads.spec import make_workload_source, parse_workload_spec
+
+__all__ = ["run_serving_point", "report_digest", "sleep_fractions"]
+
+
+def report_digest(report: FabricReport) -> str:
+    """Canonical sha256 of a fabric report.
+
+    The digest covers the full report — config, cycles, activity
+    counters, gating stats, latency/throughput metrics, and per-tenant
+    QoS — serialized deterministically, so byte-identical simulations
+    (jobs=1 vs jobs=N, dense vs skip) produce the identical hex string
+    and any divergence is detectable with one comparison.
+    """
+    payload = json.dumps(asdict(report), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def sleep_fractions(report: FabricReport) -> list[float]:
+    """Per-subnet fraction of router-cycles spent asleep."""
+    return [
+        stats.sleep_cycles / stats.total_cycles
+        if stats.total_cycles
+        else 0.0
+        for stats in report.gating
+    ]
+
+
+def run_serving_point(
+    config: NocConfig,
+    workload: str,
+    phases: SimulationPhases,
+    seed: int,
+    packet_bits: int = SYNTHETIC_PACKET_BITS,
+) -> dict:
+    """One (config, workload) open-loop serving measurement row.
+
+    The row carries the standard synthetic columns plus ``tenants``
+    (per-tenant QoS from ``FabricReport.tenants``) and ``sleep_frac``
+    (per-subnet sleep fraction), which the obs rollup joins into
+    campaign reports.
+    """
+    spec = parse_workload_spec(workload)
+    fabric = MultiNocFabric(config, seed=seed)
+    source = make_workload_source(
+        fabric, spec, seed=seed, packet_bits=packet_bits
+    )
+    report = run_open_loop(fabric, source, phases)
+    meters.note_report(report)
+    power = compute_network_power(report)
+    return {
+        "config": config.name,
+        "policy": config.selection_policy,
+        "workload": spec.kind,
+        "workload_spec": spec.to_text(),
+        "load": report.offered_rate,
+        "latency": report.avg_packet_latency,
+        "network_latency": report.avg_network_latency,
+        "throughput": report.throughput_packets,
+        "throughput_flits": report.throughput_flits,
+        "csc_pct": 100.0 * report.csc_fraction,
+        "power_w": power.total_watts,
+        "dynamic_w": power.dynamic_watts,
+        "static_w": power.static_watts,
+        "subnet_share": report.subnet_injection_share,
+        "latency_p50": report.latency_p50,
+        "latency_p95": report.latency_p95,
+        "latency_p99": report.latency_p99,
+        "avg_hops_per_subnet": report.avg_hops_per_subnet,
+        "tenants": report.tenants,
+        "sleep_frac": sleep_fractions(report),
+    }

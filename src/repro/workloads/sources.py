@@ -1,0 +1,306 @@
+"""Serving-shaped traffic generators (LLM, multi-tenant, diurnal).
+
+Each source follows the open-loop source protocol of
+:mod:`repro.traffic.generators` — ``step(cycle)``, ``current_load``,
+and the ``next_offer_cycle`` horizon that lets the skip backend jump
+idle spans byte-identically (at any cycle the horizon skips, ``step``
+returns before touching any RNG).  All randomness flows through
+:class:`repro.util.rng.DeterministicRng` substreams, so schedules are
+digest-identical across jobs=1 vs jobs=N and dense vs skip.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.noc.backend import NEVER
+from repro.noc.config import SYNTHETIC_PACKET_BITS
+from repro.noc.flit import MessageClass, Packet
+from repro.traffic.generators import SyntheticTrafficSource
+from repro.traffic.patterns import make_pattern
+from repro.util.rng import DeterministicRng
+from repro.util.validation import check_in_range, check_positive
+
+__all__ = [
+    "DEFAULT_DIURNAL_SHAPE",
+    "LlmServingSource",
+    "MultiTenantSource",
+    "DiurnalSource",
+]
+
+#: Hour-of-day load multipliers of a serving diurnal curve: a morning
+#: ramp, an evening peak, and a dead-of-night trough at exactly zero so
+#: gated subnets ride out full sleep/wake seasons.
+DEFAULT_DIURNAL_SHAPE = (
+    0.35, 0.20, 0.10, 0.00, 0.00, 0.05,
+    0.15, 0.30, 0.50, 0.65, 0.75, 0.80,
+    0.85, 0.80, 0.75, 0.70, 0.75, 0.85,
+    0.95, 1.00, 0.95, 0.80, 0.60, 0.45,
+)
+
+
+class LlmServingSource:
+    """LLM-inference accelerator traffic: prefill/decode/gap phases.
+
+    Models the memory traffic of a batched transformer serving loop on
+    an accelerator fabric: a short *prefill* burst (all compute nodes
+    stream large reads/writes to their memory controller at a high
+    rate), a long *decode* tail (one token at a time — small packets at
+    a low rate), then an idle *gap* until the next batch arrives.  The
+    result is the bursty all-to-memory-controller pattern that stresses
+    Catnap's gating policies far harder than uniform-random traffic.
+
+    ``batch`` widens the prefill burst (``prefill_cycles`` defaults to
+    ``8 * batch``), ``seq`` lengthens the decode tail (``seq *
+    token_cycles`` cycles).  Memory controllers sit at ``mcs`` evenly
+    spaced mesh nodes; every other node sends only to its controller.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        batch: int = 8,
+        seq: int = 64,
+        mcs: int = 4,
+        prefill_rate: float = 0.35,
+        decode_rate: float = 0.06,
+        prefill_bits: int = SYNTHETIC_PACKET_BITS,
+        decode_bits: int = 128,
+        token_cycles: int = 4,
+        prefill_cycles: int | None = None,
+        gap: int = 64,
+        scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        check_positive("batch", batch)
+        check_positive("seq", seq)
+        check_positive("mcs", mcs)
+        check_positive("token_cycles", token_cycles)
+        check_in_range("prefill_rate", prefill_rate, 0.0, 1.0)
+        check_in_range("decode_rate", decode_rate, 0.0, 1.0)
+        check_in_range("scale", scale, 0.0, 1.0)
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        num_nodes = fabric.mesh.num_nodes
+        if mcs > num_nodes:
+            raise ValueError(
+                f"mcs ({mcs}) exceeds mesh nodes ({num_nodes})"
+            )
+        self.fabric = fabric
+        self.batch = batch
+        self.seq = seq
+        self.prefill_rate = prefill_rate * scale
+        self.decode_rate = decode_rate * scale
+        self.prefill_bits = prefill_bits
+        self.decode_bits = decode_bits
+        self.prefill_cycles = (
+            prefill_cycles if prefill_cycles is not None else 8 * batch
+        )
+        check_positive("prefill_cycles", self.prefill_cycles)
+        self.decode_cycles = seq * token_cycles
+        self.gap = gap
+        self.period = self.prefill_cycles + self.decode_cycles + gap
+        self.mc_nodes = tuple(
+            (k * num_nodes) // mcs for k in range(mcs)
+        )
+        self._is_mc = frozenset(self.mc_nodes)
+        self.rng = DeterministicRng(seed, "workloads/llm")
+        self.packets_generated = 0
+
+    def _phase_rate_bits(self, cycle: int) -> tuple[float, int]:
+        offset = cycle % self.period
+        if offset < self.prefill_cycles:
+            return self.prefill_rate, self.prefill_bits
+        if offset < self.prefill_cycles + self.decode_cycles:
+            return self.decode_rate, self.decode_bits
+        return 0.0, 0
+
+    def phase(self, cycle: int) -> str:
+        """``"prefill"``, ``"decode"``, or ``"gap"`` at ``cycle``."""
+        offset = cycle % self.period
+        if offset < self.prefill_cycles:
+            return "prefill"
+        if offset < self.prefill_cycles + self.decode_cycles:
+            return "decode"
+        return "gap"
+
+    def current_load(self, cycle: int) -> float:
+        """Offered load (packets per sending node per cycle)."""
+        return self._phase_rate_bits(cycle)[0]
+
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Earliest cycle >= ``cycle`` with a positive injection rate.
+
+        During a gap (or with both rates zero) ``step`` returns before
+        touching the RNG, so the skip backend may jump straight to the
+        next batch arrival.
+        """
+        if self._phase_rate_bits(cycle)[0] > 0.0:
+            return cycle
+        if self.prefill_rate <= 0.0 and self.decode_rate <= 0.0:
+            return NEVER
+        offset = cycle % self.period
+        next_period_start = cycle - offset + self.period
+        if (
+            self.decode_rate > 0.0
+            and offset < self.prefill_cycles + self.decode_cycles
+        ):
+            # Inside a zero-rate prefill; decode still injects.
+            return cycle - offset + self.prefill_cycles
+        if self.prefill_rate > 0.0:
+            return next_period_start
+        return next_period_start + self.prefill_cycles
+
+    def step(self, cycle: int) -> None:
+        """Possibly inject one MC-bound packet per compute node."""
+        rate, bits = self._phase_rate_bits(cycle)
+        if rate <= 0.0:
+            return
+        fabric = self.fabric
+        random = self.rng.random
+        mc_nodes = self.mc_nodes
+        mcs = len(mc_nodes)
+        for node in range(fabric.mesh.num_nodes):
+            if node in self._is_mc:
+                continue
+            if random() >= rate:
+                continue
+            fabric.offer(
+                Packet(
+                    src=node,
+                    dst=mc_nodes[node % mcs],
+                    size_bits=bits,
+                    message_class=MessageClass.REQUEST,
+                )
+            )
+            self.packets_generated += 1
+
+
+class MultiTenantSource:
+    """N tenants sharing the fabric, each with its own offered rate.
+
+    Every tenant draws from an independent RNG substream
+    (``workloads/tenant<i>``) and tags its packets, so per-tenant
+    latency/QoS lands in ``FabricReport.tenants`` and a zero-rate
+    tenant consumes no randomness — schedules stay digest-identical
+    when rates are scaled, including to zero.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        rates: Sequence[float],
+        pattern: str = "uniform",
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        if not rates:
+            raise ValueError("at least one tenant rate is required")
+        check_in_range("scale", scale, 0.0, 1.0)
+        for index, rate in enumerate(rates):
+            check_in_range(f"tenant {index} rate", rate, 0.0, 1.0)
+        self.fabric = fabric
+        self.rates = tuple(float(rate) for rate in rates)
+        self.scale = scale
+        self.packet_bits = packet_bits
+        self.pattern = make_pattern(pattern, fabric.mesh)
+        self.rngs = tuple(
+            DeterministicRng(seed, f"workloads/tenant{index}")
+            for index in range(len(self.rates))
+        )
+        self.packets_generated = 0
+
+    def current_load(self, cycle: int) -> float:
+        """Total offered load summed over tenants."""
+        return sum(self.rates) * self.scale
+
+    def next_offer_cycle(self, cycle: int) -> int:
+        """``cycle`` while any tenant injects; ``NEVER`` otherwise."""
+        if any(rate * self.scale > 0.0 for rate in self.rates):
+            return cycle
+        return NEVER
+
+    def step(self, cycle: int) -> None:
+        """One Bernoulli draw per (tenant, node) this cycle."""
+        fabric = self.fabric
+        pattern = self.pattern
+        num_nodes = fabric.mesh.num_nodes
+        for tenant, (rate, rng) in enumerate(zip(self.rates, self.rngs)):
+            probability = rate * self.scale
+            if probability <= 0.0:
+                continue
+            random = rng.random
+            for node in range(num_nodes):
+                if random() >= probability:
+                    continue
+                dst = pattern.destination(node, rng)
+                if dst is None:
+                    continue
+                fabric.offer(
+                    Packet(
+                        src=node,
+                        dst=dst,
+                        size_bits=self.packet_bits,
+                        message_class=MessageClass.SYNTHETIC,
+                        tenant=tenant,
+                    )
+                )
+                self.packets_generated += 1
+
+
+class DiurnalSource(SyntheticTrafficSource):
+    """Bernoulli injector modulated by an hour-of-day load curve.
+
+    ``cycles_per_hour`` maps simulated cycles onto wall-clock hours;
+    the offered load at any cycle is ``base * shape[hour % 24]``.
+    Zero-load hours (the default shape's dead of night) are whole
+    seasons with no injection at all, which is what drives gated
+    subnets through complete sleep/wake cycles — and what the skip
+    backend jumps over via :meth:`next_offer_cycle`.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        pattern: str = "uniform",
+        base: float = 0.08,
+        cycles_per_hour: int = 2000,
+        shape: Sequence[float] = DEFAULT_DIURNAL_SHAPE,
+        packet_bits: int = SYNTHETIC_PACKET_BITS,
+        scale: float = 1.0,
+        seed: int = 7,
+    ) -> None:
+        check_positive("cycles_per_hour", cycles_per_hour)
+        check_in_range("scale", scale, 0.0, 1.0)
+        if len(shape) != 24:
+            raise ValueError(
+                f"shape must list 24 hourly multipliers, got {len(shape)}"
+            )
+        for hour, multiplier in enumerate(shape):
+            check_in_range(f"shape[{hour}]", multiplier, 0.0, 1.0)
+        super().__init__(
+            fabric,
+            make_pattern(pattern, fabric.mesh),
+            base * scale,
+            packet_bits,
+            seed,
+        )
+        self.cycles_per_hour = cycles_per_hour
+        self.shape = tuple(float(multiplier) for multiplier in shape)
+
+    def current_load(self, cycle: int) -> float:
+        hour = (cycle // self.cycles_per_hour) % 24
+        return self.load * self.shape[hour]
+
+    def next_offer_cycle(self, cycle: int) -> int:
+        """Start of the next hour with a positive load (or ``NEVER``)."""
+        if self.current_load(cycle) > 0.0:
+            return cycle
+        if self.load <= 0.0:
+            return NEVER
+        hour = cycle // self.cycles_per_hour
+        for ahead in range(1, 25):
+            if self.shape[(hour + ahead) % 24] > 0.0:
+                return (hour + ahead) * self.cycles_per_hour
+        return NEVER

@@ -55,6 +55,54 @@ class TestTrafficTrace:
             TrafficTrace.load(path)
 
 
+class TestTextFormatV1:
+    def test_save_writes_version_header(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        TrafficTrace([TraceRecord(1, 0, 1, 72, 0)]).save(path)
+        assert path.read_text().splitlines()[0] == "#catnap-trace v1"
+
+    def test_load_rejects_future_version(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("#catnap-trace v99\n1 0 1 72 0\n")
+        with pytest.raises(ValueError, match="line 1"):
+            TrafficTrace.load(path)
+
+    def test_tenant_column_roundtrips(self, tmp_path):
+        trace = TrafficTrace(
+            [
+                TraceRecord(1, 0, 5, 512, 3),  # untagged: 5 fields
+                TraceRecord(2, 2, 7, 72, 0, tenant=3),  # 6 fields
+            ]
+        )
+        path = tmp_path / "trace.txt"
+        trace.save(path)
+        lines = path.read_text().splitlines()
+        assert lines[1] == "1 0 5 512 3"
+        assert lines[2] == "2 2 7 72 0 3"
+        loaded = TrafficTrace.load(path)
+        assert loaded.records == trace.records
+        assert loaded.records[0].tenant == -1
+        assert loaded.records[1].tenant == 3
+
+    def test_rejects_non_integer_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 0 1 72 0\n2 0 x 72 0\n")
+        with pytest.raises(ValueError, match="line 2"):
+            TrafficTrace.load(path)
+
+    def test_rejects_out_of_range_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("1 0 1 72 0\n\n2 0 1 -8 0\n")
+        with pytest.raises(ValueError, match="line 3"):
+            TrafficTrace.load(path)
+
+    def test_rejects_cycle_disorder_with_line_number(self, tmp_path):
+        path = tmp_path / "trace.txt"
+        path.write_text("5 0 1 72 0\n4 0 1 72 0\n")
+        with pytest.raises(ValueError, match="line 2"):
+            TrafficTrace.load(path)
+
+
 class TestRecordReplay:
     def test_recording_captures_offers(self):
         fabric = small_fabric()
@@ -98,6 +146,33 @@ class TestRecordReplay:
         assert not source.exhausted
         source.step(3)
         assert source.exhausted
+
+    def test_replay_report_identical_on_dense_and_skip(self):
+        """Record once; replay produces byte-identical reports on both
+        backends (the trace pins the exact packet sequence, and the
+        kernels are result-equivalent by contract)."""
+        from repro.workloads.point import report_digest
+
+        fabric_a = small_fabric(seed=4)
+        inner = SyntheticTrafficSource(
+            fabric_a, make_pattern("uniform", fabric_a.mesh), 0.15, seed=4
+        )
+        recorder = RecordingSource(fabric_a, inner)
+        for cycle in range(80):
+            recorder.step(cycle)
+            fabric_a.step()
+
+        digests = []
+        for backend in ("dense", "skip"):
+            fabric = small_fabric(seed=999, backend=backend)
+            replay = TraceSource(fabric, recorder.trace)
+            fabric.stats.begin_measurement(0)
+            while not replay.exhausted:
+                fabric.backend.run(64, replay)
+            fabric.stats.end_measurement(fabric.cycle)
+            assert fabric.drain()
+            digests.append(report_digest(fabric.report()))
+        assert digests[0] == digests[1]
 
     def test_replay_on_different_config(self):
         """A trace recorded once drives any fabric configuration."""

@@ -164,6 +164,54 @@ class TestBurstySource:
         )
         assert source.current_load(cycle) in (0.01, 0.3)
 
+    def test_next_offer_cycle_at_burst_edges(self):
+        from repro.noc.backend import NEVER
+
+        fabric = small_fabric()
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.0), (100, 0.3), (200, 0.0), (300, 0.1)],
+        )
+        # Inside a zero-load window: jump to the burst's first cycle.
+        assert source.next_offer_cycle(0) == 100
+        assert source.next_offer_cycle(99) == 100
+        # At and inside the burst: act immediately.
+        assert source.next_offer_cycle(100) == 100
+        assert source.next_offer_cycle(199) == 199
+        # The zero-load window between bursts skips to the next one.
+        assert source.next_offer_cycle(200) == 300
+        assert source.next_offer_cycle(299) == 300
+        assert source.next_offer_cycle(5000) == 5000
+        assert NEVER not in {
+            source.next_offer_cycle(c) for c in (0, 150, 250, 400)
+        }
+
+    def test_next_offer_cycle_trailing_zero_is_never(self):
+        from repro.noc.backend import NEVER
+
+        fabric = small_fabric()
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.2), (50, 0.0)],
+        )
+        assert source.next_offer_cycle(49) == 49
+        # After the last burst the schedule is zero forever.
+        assert source.next_offer_cycle(50) == NEVER
+        assert source.next_offer_cycle(9999) == NEVER
+
+    def test_next_offer_cycle_all_zero_schedule(self):
+        from repro.noc.backend import NEVER
+
+        fabric = small_fabric()
+        source = BurstyTrafficSource(
+            fabric,
+            make_pattern("uniform", fabric.mesh),
+            [(0, 0.0)],
+        )
+        assert source.next_offer_cycle(0) == NEVER
+
 
 class TestHotspot:
     def test_hotspot_bias(self):
